@@ -1,0 +1,102 @@
+"""Figure 3: the accuracy/time/bits trade-off of Marsit's K.
+
+The paper trains CIFAR-10/AlexNet for 400 rounds with
+K in {1, 50, 100, 200, inf} and reports (Fig 3b): time to converge, final
+accuracy, and average wire bits per element — 32 at K=1 down to 1 at K=inf,
+with interior K averaging ``((K-1) * 1 + 32) / K``.
+
+Reproduction: the CIFAR-like AlexNet-mini workload for 200 rounds with
+K in {1, 25, 50, 100, inf} (scaled to the shorter simulated run).  Expected
+shape: accuracy is highest at K=1 (always full precision) and lowest at
+K=inf; per-round communication time falls as K grows; measured average bits
+match the closed form.
+"""
+
+from repro.bench import (
+    WORKLOADS,
+    calibrate_global_lr,
+    format_table,
+    print_series,
+    save_report,
+)
+from repro.train import DistributedTrainer, MarsitStrategy, TrainConfig
+from benchmarks.conftest import run_once
+
+ROUNDS = 200
+K_VALUES = (1, 25, 50, 100, None)  # None = infinity
+M = 4
+
+
+def _expected_bits(k):
+    if k is None:
+        return 1.0
+    return ((k - 1) * 1.0 + 32.0) / k
+
+
+def _run_experiment():
+    spec = WORKLOADS["cifar10-alexnet"]
+    train_set, test_set = spec.make_data()
+    sign_step = calibrate_global_lr(
+        spec.model_factory, train_set, spec.batch_size, spec.local_lr,
+        momentum=0.0,
+    )
+    results = {}
+    curves = {}
+    rows = []
+    for k in K_VALUES:
+        strategy = MarsitStrategy(
+            local_lr=spec.local_lr,
+            global_lr=2.0 * sign_step,
+            num_workers=M,
+            dimension=spec.dimension(),
+            full_precision_every=k,
+            base_optimizer="sgd",
+            seed=0,
+        )
+        config = TrainConfig(
+            num_workers=M, rounds=ROUNDS, batch_size=spec.batch_size,
+            topology="ring", eval_every=10, seed=0,
+        )
+        result = DistributedTrainer(
+            spec.model_factory, train_set, test_set, strategy, config
+        ).run()
+        label = "inf" if k is None else str(k)
+        results[k] = result
+        curves[f"K={label}"] = [
+            (record.round_idx, record.test_accuracy) for record in result.history
+        ]
+        rows.append(
+            [
+                label,
+                f"{result.total_sim_time_s * 1e3:.2f}",
+                f"{100 * result.final_accuracy:.2f}",
+                f"{100 * result.best_accuracy():.2f}",
+                f"{result.avg_bits_per_element:.2f}",
+            ]
+        )
+    table = format_table(
+        ["K", "sim time (ms)", "final acc (%)", "best acc (%)", "avg bits"],
+        rows,
+    )
+    save_report("fig3_k_sweep", f"Figure 3 reproduction (M={M}, T={ROUNDS})\n" + table)
+    print_series("Figure 3a: accuracy vs round", "round", curves, precision=3)
+    return results
+
+
+def test_fig3_k_tradeoff(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    for k, result in results.items():
+        assert not result.diverged, f"K={k} diverged"
+        assert result.avg_bits_per_element == \
+            __import__("pytest").approx(_expected_bits(k), rel=0.02)
+
+    # Communication cost falls monotonically as K grows.
+    times = [results[k].total_sim_time_s for k in K_VALUES]
+    assert times == sorted(times, reverse=True)
+
+    # Accuracy: full precision every round is at least as good as never.
+    assert results[1].best_accuracy() >= results[None].best_accuracy() - 0.01
+    # All settings learn (the trade-off is about the last points of accuracy).
+    for result in results.values():
+        assert result.best_accuracy() > 0.7

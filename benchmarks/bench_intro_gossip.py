@@ -1,0 +1,97 @@
+"""Introduction claim: gossip converges much slower than MAR on sparse rings.
+
+Section 1: "the performance of gossip in terms of convergence rate is much
+slower than MAR, especially under sparse connections such as ring topology"
+(refs [8-10]).  The mechanism is the mixing matrix's spectral gap: on a
+bidirectional ring of M workers the gap is O(1/M^2), so reaching consensus
+takes O(M^2 log(1/eps)) gossip rounds, while a ring all-reduce computes the
+exact mean in 2(M-1) steps.
+
+The bench measures (a) the spectral gap of the Metropolis weights on rings
+vs complete graphs, and (b) the number of gossip rounds to reach 1% relative
+consensus error vs the all-reduce step count.
+"""
+
+import numpy as np
+
+from repro.allreduce.gossip import gossip_average_round, gossip_mixing_matrix
+from repro.bench import format_table, save_report
+from repro.comm.cluster import Cluster
+from repro.comm.topology import fully_connected_topology, ring_topology
+from benchmarks.conftest import run_once
+
+DIMENSION = 32
+TOLERANCE = 0.01
+
+
+def _spectral_gap(cluster):
+    weights = gossip_mixing_matrix(cluster)
+    eigenvalues = np.sort(np.abs(np.linalg.eigvalsh(weights)))[::-1]
+    return float(1.0 - eigenvalues[1])
+
+
+def _gossip_rounds_to_consensus(cluster, vectors):
+    target = np.mean(vectors, axis=0)
+    scale = max(np.linalg.norm(v - target) for v in vectors)
+    mixing = gossip_mixing_matrix(cluster)
+    current = [v.copy() for v in vectors]
+    for round_idx in range(1, 100_000):
+        current = gossip_average_round(cluster, current, mixing=mixing)
+        worst = max(np.linalg.norm(v - target) for v in current)
+        if worst <= TOLERANCE * scale:
+            return round_idx
+    return None
+
+
+def _run_experiment():
+    rng = np.random.default_rng(0)
+    rows = []
+    data = {}
+    for m in (4, 8, 16):
+        vectors = [rng.standard_normal(DIMENSION) for _ in range(m)]
+        ring_cluster = Cluster(ring_topology(m, bidirectional=True))
+        full_cluster = Cluster(fully_connected_topology(m))
+        entry = {
+            "ring_gap": _spectral_gap(ring_cluster),
+            "full_gap": _spectral_gap(full_cluster),
+            "ring_rounds": _gossip_rounds_to_consensus(ring_cluster, vectors),
+            "allreduce_steps": 2 * (m - 1),
+        }
+        data[m] = entry
+        rows.append(
+            [
+                m,
+                f"{entry['ring_gap']:.4f}",
+                f"{entry['full_gap']:.4f}",
+                entry["ring_rounds"],
+                entry["allreduce_steps"],
+            ]
+        )
+    report = format_table(
+        ["M", "ring spectral gap", "complete-graph gap",
+         f"gossip rounds to {TOLERANCE:.0%}", "all-reduce steps (exact)"],
+        rows,
+    )
+    save_report("intro_gossip", "Gossip vs MAR consensus speed\n" + report)
+    return data
+
+
+def test_gossip_slower_than_mar(benchmark):
+    data = run_once(benchmark, _run_experiment)
+
+    for m, entry in data.items():
+        # Sparse ring's gap is far below the complete graph's.
+        assert entry["ring_gap"] < 0.75 * entry["full_gap"]
+    # The O(1/M^2) gap: quadrupling M shrinks the gap ~16x (within 2x).
+    ratio = data[4]["ring_gap"] / data[16]["ring_gap"]
+    assert 8.0 < ratio < 32.0
+    # Gossip's rounds grow superlinearly in M (all-reduce steps grow
+    # linearly), and by M = 16 gossip needs ~2x the rounds — each of which
+    # moves a *full* D-vector per link, vs the all-reduce's D/M segments:
+    # the volume gap is ~M x rounds-ratio.
+    growth = data[16]["ring_rounds"] / data[4]["ring_rounds"]
+    assert growth > 4.0
+    assert data[16]["ring_rounds"] > 2 * data[16]["allreduce_steps"]
+    gossip_volume = data[16]["ring_rounds"] * 2  # 2 neighbors x D each
+    allreduce_volume = 2 * (16 - 1) / 16  # 2 (M-1)/M x D per worker
+    assert gossip_volume > 30 * allreduce_volume

@@ -1,0 +1,82 @@
+"""Table 2: Top-1 accuracy of six schemes across the five paper workloads.
+
+Paper's Table 2 (32-node cluster):
+
+| model/dataset        | PSGD  | signSGD | EF-signSGD | SSDM  | Marsit-100 | Marsit |
+| AlexNet/CIFAR-10     | 82.38 | 80.74   | 82.25      | 81.89 | 82.30      | 81.58 |
+| ResNet-20/CIFAR-10   | 93.42 | 88.92   | 91.85      | 89.18 | 92.18      | 90.15 |
+| ResNet-18/ImageNet   | 69.18 | 67.17   | 68.14      | 68.10 | 68.96      | 68.40 |
+| ResNet-50/ImageNet   | 74.87 | 72.74   | 73.89      | 73.35 | 74.35      | 74.10 |
+| DistilBERT/IMDb      | 92.16 | 89.12   | 90.57      | 91.41 | 90.13      | 90.26 |
+
+Shapes to hold at simulation scale: PSGD is the (near-)top of every row;
+Marsit / Marsit-K land within a few points of PSGD and above (or level
+with) the best existing compressed baselines on most rows; one-bit schemes
+never catastrophically fail.  Exact per-cell values are substrate-dependent
+(synthetic data, mini models) and are *not* asserted.
+"""
+
+from repro.bench import WORKLOADS, build_strategy, format_table, save_report, strategy_names
+from repro.train import DistributedTrainer, TrainConfig
+from benchmarks.conftest import run_once
+
+M = 4
+# The alexnet row doubles as Table 1's workload; all five paper rows run.
+ROWS = (
+    "cifar10-alexnet",
+    "cifar10-resnet20",
+    "imagenet-resnet18",
+    "imagenet-resnet50",
+    "imdb-distilbert",
+)
+
+
+def _run_experiment():
+    table = {}
+    rows = []
+    for key in ROWS:
+        spec = WORKLOADS[key]
+        train_set, test_set = spec.make_data()
+        row = {}
+        for strategy_name in strategy_names():
+            strategy = build_strategy(strategy_name, spec, M, train_set)
+            config = TrainConfig(
+                num_workers=M,
+                rounds=spec.rounds,
+                batch_size=spec.batch_size,
+                topology="ring",
+                eval_every=max(1, spec.rounds // 10),
+                seed=0,
+            )
+            result = DistributedTrainer(
+                spec.model_factory, train_set, test_set, strategy, config
+            ).run()
+            row[strategy_name] = result
+        table[key] = row
+        rows.append(
+            [spec.title]
+            + [f"{100 * row[name].best_accuracy():.2f}" for name in strategy_names()]
+        )
+    report = format_table(["model / dataset", *strategy_names()], rows)
+    save_report(
+        "table2_accuracy",
+        f"Table 2 reproduction (M={M}, best test accuracy %)\n" + report,
+    )
+    return table
+
+
+def test_table2_accuracy(benchmark):
+    table = run_once(benchmark, _run_experiment)
+
+    for key, row in table.items():
+        best = {name: result.best_accuracy() for name, result in row.items()}
+        psgd = best["psgd"]
+        # Everything learns: no scheme collapses to chance.
+        chance = 1.0 / WORKLOADS[key].make_data()[0].num_classes
+        for name, accuracy in best.items():
+            assert accuracy > 1.5 * chance, f"{key}/{name} at chance"
+        # PSGD is at (or within noise of) the top of the row.
+        assert psgd >= max(best.values()) - 0.05, f"{key}: psgd not near top"
+        # Marsit variants stay close to PSGD (the headline claim).
+        marsit_best = max(best["marsit"], best["marsit-k"])
+        assert marsit_best >= psgd - 0.10, f"{key}: marsit far from psgd"

@@ -1,0 +1,81 @@
+"""Theorem 1: linear speedup of Marsit in the number of workers.
+
+Theorem 1 bounds ``min_t E||grad F(x_t)||^2`` by ``O(1/sqrt(MT)) +
+O(K(K+1)/T)`` under the schedule ``eta_l = sqrt(M/T)``,
+``eta_s = 1/sqrt(TD)`` — so at fixed T, quadrupling the workers should
+roughly halve the reachable gradient norm (and the K term should vanish for
+small K).
+
+Reproduction: a noisy strongly-convex quadratic ``F(x) = ||x - x*||^2 / 2``
+with per-worker gradient noise of std ``sigma``, driven by Marsit-SGD at the
+theorem's learning rates.  We sweep M in {1, 2, 4, 8, 16} and report
+``min_t ||grad F||^2``; the sequence must be decreasing (monotone up to a
+tolerance) — the paper's "the more GPUs participate, the faster Marsit
+reaches a stable point".
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_report
+from repro.comm.cluster import Cluster
+from repro.comm.topology import ring_topology
+from repro.core.marsit import MarsitConfig
+from repro.core.optimizer import MarsitSGD
+from repro.theory.bounds import recommended_learning_rates
+from benchmarks.conftest import run_once
+
+DIMENSION = 64
+ROUNDS = 400
+SIGMA = 4.0
+WORKER_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _run_marsit_quadratic(num_workers, seed=0):
+    rng = np.random.default_rng(seed)
+    x_star = rng.standard_normal(DIMENSION)
+    x = np.zeros(DIMENSION)
+    rates = recommended_learning_rates(num_workers, ROUNDS, DIMENSION)
+    optimizer = MarsitSGD(
+        MarsitConfig(global_lr=rates.global_lr, seed=seed),
+        rates.local_lr,
+        num_workers,
+        DIMENSION,
+    )
+    cluster = Cluster(ring_topology(num_workers))
+    min_grad_sq = np.inf
+    noise_rng = np.random.default_rng(seed + 1)
+    for round_idx in range(ROUNDS):
+        true_grad = x - x_star
+        min_grad_sq = min(min_grad_sq, float((true_grad**2).sum()))
+        grads = [
+            true_grad + SIGMA * noise_rng.standard_normal(DIMENSION)
+            for _ in range(num_workers)
+        ]
+        report = optimizer.step(cluster, grads, round_idx + 1)
+        x = x - report.global_updates[0]
+    return min_grad_sq
+
+
+def _run_experiment():
+    # Average a few seeds: the quantity is a min over a stochastic path.
+    table = {}
+    for m in WORKER_COUNTS:
+        values = [_run_marsit_quadratic(m, seed=s) for s in (0, 1, 2)]
+        table[m] = float(np.mean(values))
+    rows = [[m, f"{table[m]:.4f}"] for m in WORKER_COUNTS]
+    report = format_table(["M", "min ||grad F||^2"], rows)
+    save_report(
+        "theorem1_speedup",
+        f"Theorem 1 linear-speedup check (T={ROUNDS}, sigma={SIGMA})\n" + report,
+    )
+    return table
+
+
+def test_theorem1_linear_speedup(benchmark):
+    table = run_once(benchmark, _run_experiment)
+
+    values = [table[m] for m in WORKER_COUNTS]
+    # More workers, smaller reachable gradient norm (monotone trend).
+    assert values == sorted(values, reverse=True)
+    # The M=16 point shows a substantial speedup over single-worker.
+    assert table[16] < 0.5 * table[1]

@@ -1,0 +1,87 @@
+"""Theorems 2 & 3: aggregation deviation of PS compression vs cascading.
+
+Appendix A bounds the squared deviation from the exact mean: SSDM under PS
+by ``D G^2`` (Theorem 2, independent of M) and cascading compression by
+``(2D)^M G^2 / M`` (Theorem 3, exploding with M).  The paper's remark: the
+cascading bound "explodes rapidly with M, while centralized training does
+not".
+
+Reproduction: random bounded gradients, D = 32, M swept 1..8; empirical
+``||s_2 - s_1||^2`` and ``||s_3 - s_1||^2`` averaged over trials, checked
+against the closed-form bounds.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_report
+from repro.theory.bounds import cascading_deviation_bound, ps_deviation_bound
+from repro.theory.deviation import cascading_deviation, ps_compression_deviation
+from benchmarks.conftest import run_once
+
+DIMENSION = 32
+WORKER_COUNTS = (1, 2, 3, 4, 6, 8)
+TRIALS = 40
+
+
+def _run_experiment():
+    base_rng = np.random.default_rng(0)
+    gradients = [base_rng.standard_normal(DIMENSION) for _ in range(max(WORKER_COUNTS))]
+    g_bound = max(np.linalg.norm(g) for g in gradients)
+    rows = []
+    data = {}
+    for m in WORKER_COUNTS:
+        subset = gradients[:m]
+        ps_values = [
+            ps_compression_deviation(subset, np.random.default_rng(1000 + t))
+            for t in range(TRIALS)
+        ]
+        cascade_values = [
+            cascading_deviation(subset, np.random.default_rng(2000 + t))
+            for t in range(TRIALS)
+        ]
+        data[m] = {
+            "ps": float(np.mean(ps_values)),
+            "ps_max": float(np.max(ps_values)),
+            "cascade": float(np.mean(cascade_values)),
+            "ps_bound": ps_deviation_bound(DIMENSION, g_bound),
+            "cascade_bound": cascading_deviation_bound(DIMENSION, m, g_bound),
+        }
+        rows.append(
+            [
+                m,
+                f"{data[m]['ps']:.1f}",
+                f"{data[m]['cascade']:.3e}",
+                f"{data[m]['ps_bound']:.1f}",
+                f"{data[m]['cascade_bound']:.3e}",
+            ]
+        )
+    report = format_table(
+        ["M", "PS deviation", "cascading deviation", "Thm2 bound", "Thm3 bound"],
+        rows,
+    )
+    save_report(
+        "theorem3_deviation",
+        f"Theorems 2/3 deviation check (D={DIMENSION}, {TRIALS} trials)\n" + report,
+    )
+    return data
+
+
+def test_theorem3_deviation_explodes(benchmark):
+    data = run_once(benchmark, _run_experiment)
+
+    # PS deviation stays bounded by Theorem 2 and roughly flat in M.
+    for m, cell in data.items():
+        assert cell["ps_max"] <= cell["ps_bound"]
+    flat_ratio = data[8]["ps"] / data[1]["ps"]
+    assert flat_ratio < 10.0
+
+    # Cascading deviation grows monotonically and explosively with M ...
+    cascade = [data[m]["cascade"] for m in WORKER_COUNTS]
+    assert cascade == sorted(cascade)
+    assert data[8]["cascade"] > 1e3 * data[2]["cascade"]
+    # ... while staying under the Theorem 3 upper bound.
+    for m, cell in data.items():
+        assert cell["cascade"] <= cell["cascade_bound"]
+    # At every M > 1, cascading is far worse than PS compression.
+    for m in WORKER_COUNTS[2:]:
+        assert data[m]["cascade"] > 10 * data[m]["ps"]

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one paper table/figure; experiments run exactly once
+via ``benchmark.pedantic(..., rounds=1, iterations=1)`` and print/save their
+report.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer, return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Terminal plots: accuracy-vs-bytes curves without a plotting stack.
+
+Renders a Figure-4b-style accuracy-vs-communication plot with the built-in
+ASCII plotter — handy on remote boxes where the results files are all you
+have.
+
+Usage::
+
+    python examples/ascii_curves.py
+"""
+
+from repro.bench import WORKLOADS, build_strategy
+from repro.bench.reporting import ascii_plot
+from repro.train import DistributedTrainer, TrainConfig
+
+ROUNDS = 150
+M = 4
+
+
+def main() -> None:
+    spec = WORKLOADS["cifar10-alexnet"]
+    train_set, test_set = spec.make_data()
+    curves = {}
+    for name in ("psgd", "signsgd", "marsit"):
+        strategy = build_strategy(name, spec, M, train_set)
+        config = TrainConfig(
+            num_workers=M, rounds=ROUNDS, batch_size=spec.batch_size,
+            topology="ring", eval_every=10, seed=0,
+        )
+        result = DistributedTrainer(
+            spec.model_factory, train_set, test_set, strategy, config
+        ).run()
+        curves[name] = [
+            (record.comm_bytes / 1e6, record.test_accuracy)
+            for record in result.history
+        ]
+        print(f"done: {name}")
+    print("\naccuracy vs communication (MB) — Figure 4b at a glance\n")
+    print(ascii_plot(curves, width=70, height=18, y_range=(0.0, 1.0)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Compare all six synchronization schemes on the CIFAR-like workload.
+
+Reproduces a miniature of the paper's Table 2 row for AlexNet/CIFAR-10:
+PSGD, signSGD majority vote, EF-signSGD, SSDM, Marsit-K and Marsit all
+train the same model on the same data stream; the table shows how accuracy,
+traffic, and simulated time trade off.
+
+Usage::
+
+    python examples/compare_compression_schemes.py [rounds]
+"""
+
+import sys
+
+from repro.bench import WORKLOADS, build_strategy, format_table, strategy_names
+from repro.train import DistributedTrainer, TrainConfig
+
+
+def main(rounds: int = 120) -> None:
+    spec = WORKLOADS["cifar10-alexnet"]
+    train_set, test_set = spec.make_data()
+    num_workers = 4
+    rows = []
+    for name in strategy_names():
+        strategy = build_strategy(name, spec, num_workers, train_set)
+        config = TrainConfig(
+            num_workers=num_workers,
+            rounds=rounds,
+            batch_size=spec.batch_size,
+            topology="ring",
+            eval_every=max(1, rounds // 8),
+            seed=0,
+        )
+        result = DistributedTrainer(
+            spec.model_factory, train_set, test_set, strategy, config
+        ).run()
+        rows.append(
+            [
+                name,
+                f"{100 * result.best_accuracy():.2f}",
+                f"{result.total_comm_bytes / 1e6:.3f}",
+                f"{result.total_sim_time_s * 1e3:.2f}",
+                f"{result.avg_bits_per_element:.2f}",
+            ]
+        )
+        print(f"finished {name}")
+    print()
+    print(
+        format_table(
+            ["scheme", "best acc (%)", "comm (MB)", "sim time (ms)", "bits/elem"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 120)

@@ -1,0 +1,83 @@
+"""The heart of Marsit: unbiased one-bit aggregation without decompression.
+
+This example uses no training at all — it demonstrates the algorithmic core
+on raw vectors:
+
+1. the ``⊙`` merge (Eq. 2) turns a chain of one-bit exchanges into an
+   unbiased sample of the *mean sign* across workers;
+2. cascading compression (Section 3.2), the naive alternative, destroys the
+   direction: its matching rate against the exact aggregate collapses to a
+   coin flip and its variance explodes with the worker count (Theorem 3).
+
+Usage::
+
+    python examples/unbiased_sign_aggregation.py
+"""
+
+import numpy as np
+
+from repro.allreduce import cascading_ring_allreduce
+from repro.comm import Cluster, ring_topology
+from repro.compression import SSDMCompressor
+from repro.core import MarsitConfig, MarsitSynchronizer
+from repro.theory import cascading_deviation_bound, matching_rate
+
+DIMENSION = 5000
+TRIALS = 200
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    for num_workers in (3, 8):
+        gradients = [rng.standard_normal(DIMENSION) for _ in range(num_workers)]
+        exact_mean = np.mean(gradients, axis=0)
+        mean_sign = np.mean([np.sign(g) + (g == 0) for g in gradients], axis=0)
+
+        # --- Marsit's one-bit consensus, averaged over many rounds -------
+        accumulated = np.zeros(DIMENSION)
+        for trial in range(TRIALS):
+            sync = MarsitSynchronizer(
+                MarsitConfig(global_lr=1.0, seed=trial), num_workers, DIMENSION
+            )
+            cluster = Cluster(ring_topology(num_workers))
+            report = sync.synchronize(
+                cluster, [g.copy() for g in gradients], round_idx=1
+            )
+            accumulated += report.global_updates[0]
+        marsit_estimate = accumulated / TRIALS
+        marsit_bias = np.abs(marsit_estimate - mean_sign).mean()
+
+        # --- Cascading compression, a single round ----------------------
+        cluster = Cluster(ring_topology(num_workers))
+        rngs = [np.random.default_rng(10 + i) for i in range(num_workers)]
+        cascaded = cascading_ring_allreduce(
+            cluster, [g.copy() for g in gradients], SSDMCompressor(), rngs
+        )[0]
+
+        print(f"M = {num_workers}")
+        print(
+            f"  marsit:    E[one-bit consensus] vs mean sign, "
+            f"mean |bias| = {marsit_bias:.4f}  (sampling noise "
+            f"~{1.0 / np.sqrt(TRIALS):.3f})"
+        )
+        print(
+            f"  marsit:    single-round matching rate vs exact mean = "
+            f"{matching_rate(marsit_estimate, exact_mean):.3f}"
+        )
+        print(
+            f"  cascading: matching rate vs exact mean = "
+            f"{matching_rate(cascaded, exact_mean):.3f}  (coin flip = 0.500)"
+        )
+        deviation = float(((cascaded - exact_mean) ** 2).sum())
+        bound = cascading_deviation_bound(
+            DIMENSION, num_workers, max(np.linalg.norm(g) for g in gradients)
+        )
+        print(
+            f"  cascading: ||s3 - s1||^2 = {deviation:.3e}  "
+            f"(Theorem 3 bound {bound:.3e})\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

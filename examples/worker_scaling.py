@@ -1,0 +1,68 @@
+"""Worker scaling: "the more GPUs participate, the faster Marsit converges".
+
+Theorem 1 promises an O(1/sqrt(MT)) rate — linear speedup in the worker
+count.  The clean law is checked on a controlled noisy quadratic in
+``benchmarks/bench_theorem1_speedup.py``; this example shows how the effect
+surfaces in actual training at simulation scale, in a variance-dominated
+regime (batch size 2, plain SGD): PSGD's rounds-to-target shrink as workers
+are added, and Marsit's attainable accuracy climbs as more workers' signs
+sharpen each one-bit vote.
+
+Usage::
+
+    python examples/worker_scaling.py
+"""
+
+from repro.bench import format_table
+from repro.data import mnist_like, train_test_split
+from repro.nn.zoo import mlp
+from repro.train import DistributedTrainer, MarsitStrategy, PSGDStrategy, TrainConfig
+
+TARGET = 0.75
+ROUNDS = 300
+
+
+def factory():
+    return mlp(64, hidden=(32,), num_classes=10, seed=7)
+
+
+def main() -> None:
+    data = mnist_like(num_samples=4000, size=8, noise=1.4, seed=0)
+    train_set, test_set = train_test_split(data, 0.25, seed=1)
+    dimension = factory().num_parameters()
+    rows = []
+    for m in (2, 4, 8, 16):
+        for name, strategy in (
+            ("psgd", PSGDStrategy(lr=0.05, num_workers=m,
+                                  base_optimizer="sgd")),
+            ("marsit", MarsitStrategy(local_lr=0.05, global_lr=1e-3,
+                                      num_workers=m, dimension=dimension,
+                                      base_optimizer="sgd")),
+        ):
+            config = TrainConfig(
+                num_workers=m, rounds=ROUNDS, batch_size=2,
+                topology="ring", eval_every=5, seed=0,
+            )
+            result = DistributedTrainer(
+                factory, train_set, test_set, strategy, config
+            ).run()
+            reached = result.rounds_to_accuracy(TARGET)
+            rows.append(
+                [m, name,
+                 reached if reached is not None else f"{ROUNDS}+",
+                 f"{100 * result.best_accuracy():.1f}"]
+            )
+            print(f"done: M={m} {name}")
+    print()
+    print(format_table(
+        ["M", "scheme", f"rounds to {TARGET:.0%}", "best acc (%)"], rows
+    ))
+    print(
+        "\nMore workers: PSGD reaches the bar in fewer rounds; Marsit's "
+        "best accuracy climbs as the one-bit votes sharpen.  The exact "
+        "O(1/sqrt(MT)) law: benchmarks/bench_theorem1_speedup.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

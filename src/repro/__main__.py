@@ -1,0 +1,64 @@
+"""Command-line entry point: ``python -m repro``.
+
+Runs a single quick-train comparison from the shell, for smoke testing an
+installation or eyeballing a scheme without writing code::
+
+    python -m repro --strategy marsit --workers 8 --rounds 120
+    python -m repro --strategy psgd --topology torus --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import quick_train
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Marsit (DAC 2022) reproduction: train the bundled MNIST-like "
+            "workload under a chosen synchronization scheme."
+        ),
+    )
+    parser.add_argument(
+        "--strategy",
+        default="marsit",
+        choices=[
+            "psgd", "signsgd", "ef-signsgd", "ssdm", "cascading", "marsit",
+            "marsit-k",
+        ],
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=100)
+    parser.add_argument("--topology", default="ring", choices=["ring", "torus"])
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    result = quick_train(
+        strategy=args.strategy,
+        num_workers=args.workers,
+        rounds=args.rounds,
+        topology=args.topology,
+        seed=args.seed,
+    )
+    print(f"strategy      : {result.strategy_name}")
+    print(f"rounds run    : {result.rounds_run}")
+    print(f"final accuracy: {result.final_accuracy:.4f}")
+    print(f"best accuracy : {result.best_accuracy():.4f}")
+    print(f"bytes on wire : {result.total_comm_bytes:,}")
+    print(f"simulated time: {result.total_sim_time_s * 1e3:.2f} ms")
+    print(f"bits/element  : {result.avg_bits_per_element:.2f}")
+    if result.diverged:
+        print("NOTE: run diverged")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

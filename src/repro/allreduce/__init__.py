@@ -1,0 +1,53 @@
+"""All-reduce algorithms over the simulated cluster.
+
+The generic ring schedule (:func:`ring_reduce_scatter` /
+:func:`ring_all_gather`) takes a pluggable per-hop ``combine`` so the same
+code path drives
+
+- full-precision float all-reduce (PSGD baseline),
+- integer sign-sum all-reduce with bit-length expansion (the SSDM-under-MAR
+  baseline of Section 3.1),
+- Marsit's one-bit merge (plugged in from :mod:`repro.core`), and
+- cascading compression (the Section 3.2 anti-pattern).
+
+Higher-level collectives: 2D-torus all-reduce, parameter-server emulation,
+tree all-reduce, segmented ring, and gossip averaging.
+"""
+
+from repro.allreduce.cascading import cascading_ring_allreduce
+from repro.allreduce.gossip import gossip_average_round, gossip_mixing_matrix
+from repro.allreduce.ps import ps_allreduce
+from repro.allreduce.ring import (
+    SizedPayload,
+    parallel_ring_all_gather,
+    parallel_ring_reduce_scatter,
+    ring_all_gather,
+    ring_allreduce_mean,
+    ring_allreduce_sum,
+    ring_reduce_scatter,
+    signsum_ring_allreduce,
+    split_segments,
+)
+from repro.allreduce.segmented import segmented_ring_allreduce
+from repro.allreduce.torus import torus_allreduce_mean, torus_allreduce_sum
+from repro.allreduce.tree import tree_allreduce
+
+__all__ = [
+    "SizedPayload",
+    "cascading_ring_allreduce",
+    "gossip_average_round",
+    "gossip_mixing_matrix",
+    "parallel_ring_all_gather",
+    "parallel_ring_reduce_scatter",
+    "ps_allreduce",
+    "ring_all_gather",
+    "ring_allreduce_mean",
+    "ring_allreduce_sum",
+    "ring_reduce_scatter",
+    "segmented_ring_allreduce",
+    "signsum_ring_allreduce",
+    "split_segments",
+    "torus_allreduce_mean",
+    "torus_allreduce_sum",
+    "tree_allreduce",
+]

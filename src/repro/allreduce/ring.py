@@ -1,0 +1,316 @@
+"""Ring all-reduce: the classical reduce-scatter + all-gather schedule.
+
+The schedule is the Baidu/Horovod one (paper refs [4, 5]): with ``M`` workers
+the vector is split into ``M`` segments; ``M - 1`` reduce steps each move one
+segment per worker to its ring successor and fold it into the local copy, so
+every worker ends owning one fully reduced segment; ``M - 1`` gather steps
+then circulate the owned segments until everyone holds the full result.
+Total traffic per worker: ``2 (M - 1) D / M`` elements — the
+``2 (M - 1) x D`` weights of Section 3.1 summed over the ring.
+
+``combine`` is pluggable, which is how Marsit's one-bit merge, the
+sign-sum integer reduce (with bit-length expansion), and plain float addition
+all share this schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.comm.bits import signed_int_bit_width
+from repro.comm.cluster import Cluster, SizedPayload
+from repro.comm.timing import Phase
+
+__all__ = [
+    "SizedPayload",
+    "parallel_ring_all_gather",
+    "parallel_ring_reduce_scatter",
+    "ring_all_gather",
+    "ring_allreduce_mean",
+    "ring_allreduce_sum",
+    "ring_reduce_scatter",
+    "signsum_ring_allreduce",
+    "split_segments",
+]
+
+Combine = Callable[[Any, Any, int], Any]
+"""(received_payload, local_segment, step_index) -> new local segment."""
+
+
+def split_segments(vector: np.ndarray, num_segments: int) -> list[np.ndarray]:
+    """Split a 1-D vector into ``num_segments`` nearly equal segments.
+
+    ``np.array_split`` semantics: the first ``len % num_segments`` segments
+    get one extra element, and segments may be empty when
+    ``len < num_segments`` (still correct, just zero-byte hops).
+    """
+    vector = np.asarray(vector)
+    if vector.ndim != 1:
+        raise ValueError("split_segments expects a 1-D vector")
+    return [segment.copy() for segment in np.array_split(vector, num_segments)]
+
+
+def _ring_ranks(cluster: Cluster, ranks: Sequence[int] | None) -> list[int]:
+    if ranks is None:
+        return list(range(cluster.num_workers))
+    return list(ranks)
+
+
+def parallel_ring_reduce_scatter(
+    cluster: Cluster,
+    cycles: Sequence[Sequence[int]],
+    segments: Sequence[list[list[Any]]],
+    combine: Combine,
+    tag: str = "rs",
+) -> list[list[int]]:
+    """Reduce phase over several *disjoint* ring cycles in lockstep.
+
+    All cycles advance one hop per synchronous step, so transfers on
+    different rings overlap — e.g. every row of a torus reduce-scatters
+    simultaneously, which is where TAR's latency advantage over a flat ring
+    comes from.
+
+    Args:
+        cycles: ordered rank cycles; must be pairwise disjoint.
+        segments: ``segments[c][p][i]`` — segment ``i`` held by the worker at
+            position ``p`` of cycle ``c``; mutated in place.
+        combine: folds a received payload into the local segment; the step
+            index says how many contributions the payload carries (step+1).
+
+    Returns:
+        ``owned[c][p]``: fully reduced segment index per cycle position.
+    """
+    sizes = [len(cycle) for cycle in cycles]
+    if len(set(sizes)) > 1:
+        raise ValueError("all cycles must have equal length")
+    if not cycles:
+        return []
+    size = sizes[0]
+    for cycle, cycle_segments in zip(cycles, segments):
+        if any(len(worker_segments) != size for worker_segments in cycle_segments):
+            raise ValueError("each worker must hold exactly cycle-length segments")
+    for step in range(size - 1):
+        cluster.begin_step()
+        for cycle_idx, cycle in enumerate(cycles):
+            for pos in range(size):
+                send_idx = (pos - step) % size
+                cluster.send(
+                    cycle[pos],
+                    cycle[(pos + 1) % size],
+                    segments[cycle_idx][pos][send_idx],
+                    tag=f"{tag}:{step}",
+                )
+        for cycle_idx, cycle in enumerate(cycles):
+            for pos in range(size):
+                recv_idx = (pos - 1 - step) % size
+                payload = cluster.recv(
+                    cycle[pos], cycle[(pos - 1) % size], tag=f"{tag}:{step}"
+                )
+                segments[cycle_idx][pos][recv_idx] = combine(
+                    payload, segments[cycle_idx][pos][recv_idx], step
+                )
+        cluster.end_step()
+    return [[(pos + 1) % size for pos in range(size)] for _ in cycles]
+
+
+def parallel_ring_all_gather(
+    cluster: Cluster,
+    cycles: Sequence[Sequence[int]],
+    segments: Sequence[list[list[Any]]],
+    tag: str = "ag",
+) -> None:
+    """Gather phase over several disjoint ring cycles in lockstep.
+
+    Assumes the ownership layout of :func:`parallel_ring_reduce_scatter`
+    (position ``p`` owns segment ``(p + 1) % size``); mutates in place.
+    """
+    if not cycles:
+        return
+    size = len(cycles[0])
+    for step in range(size - 1):
+        cluster.begin_step()
+        for cycle_idx, cycle in enumerate(cycles):
+            for pos in range(size):
+                send_idx = (pos + 1 - step) % size
+                cluster.send(
+                    cycle[pos],
+                    cycle[(pos + 1) % size],
+                    segments[cycle_idx][pos][send_idx],
+                    tag=f"{tag}:{step}",
+                )
+        for cycle_idx, cycle in enumerate(cycles):
+            for pos in range(size):
+                recv_idx = (pos - step) % size
+                payload = cluster.recv(
+                    cycle[pos], cycle[(pos - 1) % size], tag=f"{tag}:{step}"
+                )
+                segments[cycle_idx][pos][recv_idx] = payload
+        cluster.end_step()
+
+
+def ring_reduce_scatter(
+    cluster: Cluster,
+    segments: list[list[Any]],
+    combine: Combine,
+    ranks: Sequence[int] | None = None,
+    tag: str = "rs",
+) -> list[int]:
+    """Run the reduce phase over one ring of ``ranks``.
+
+    Args:
+        cluster: the simulated cluster (sends must follow topology edges).
+        segments: ``segments[p][i]`` is the ``i``-th segment held by the
+            worker at ring position ``p``; mutated in place.
+        combine: folds a received payload into the local segment.  The step
+            index tells stateful combiners how many contributions the
+            received segment already carries (``step + 1``).
+        ranks: the ordered ring cycle; defaults to all workers ``0..M-1``.
+
+    Returns:
+        ``owned[p]``: the segment index fully reduced at ring position ``p``.
+    """
+    cycle = _ring_ranks(cluster, ranks)
+    return parallel_ring_reduce_scatter(
+        cluster, [cycle], [segments], combine, tag=tag
+    )[0]
+
+
+def ring_all_gather(
+    cluster: Cluster,
+    segments: list[list[Any]],
+    ranks: Sequence[int] | None = None,
+    tag: str = "ag",
+) -> None:
+    """Run the gather phase: circulate owned segments until all are shared.
+
+    Assumes the ownership layout produced by :func:`ring_reduce_scatter`
+    (position ``p`` owns segment ``(p + 1) % size``); mutates ``segments``.
+    """
+    cycle = _ring_ranks(cluster, ranks)
+    parallel_ring_all_gather(cluster, [cycle], [segments], tag=tag)
+
+
+def _add_combine(received: Any, local: np.ndarray, step: int) -> np.ndarray:
+    return np.asarray(received, dtype=local.dtype) + local
+
+
+def ring_allreduce_sum(
+    cluster: Cluster,
+    vectors: list[np.ndarray],
+    ranks: Sequence[int] | None = None,
+    wire_dtype: np.dtype = np.dtype(np.float32),
+) -> list[np.ndarray]:
+    """Full-precision ring all-reduce; returns the per-worker sums.
+
+    Floats travel as ``wire_dtype`` (FP32 by default, matching the paper's
+    non-compressed baseline) but accumulate in float64 locally.
+    """
+    cycle = _ring_ranks(cluster, ranks)
+    size = len(cycle)
+    if len(vectors) != size:
+        raise ValueError("one vector per ring position required")
+    if size == 1:
+        return [np.asarray(vectors[0], dtype=np.float64).copy()]
+
+    def to_wire(segment: np.ndarray) -> np.ndarray:
+        return np.asarray(segment, dtype=wire_dtype)
+
+    segments = [
+        [to_wire(seg) for seg in split_segments(vector, size)] for vector in vectors
+    ]
+    ring_reduce_scatter(cluster, segments, _add_combine, ranks=cycle)
+    ring_all_gather(cluster, segments, ranks=cycle)
+    return [
+        np.concatenate([np.asarray(seg, dtype=np.float64) for seg in worker])
+        for worker in segments
+    ]
+
+
+def ring_allreduce_mean(
+    cluster: Cluster,
+    vectors: list[np.ndarray],
+    ranks: Sequence[int] | None = None,
+    wire_dtype: np.dtype = np.dtype(np.float32),
+) -> list[np.ndarray]:
+    """Ring all-reduce returning per-worker means."""
+    sums = ring_allreduce_sum(cluster, vectors, ranks=ranks, wire_dtype=wire_dtype)
+    scale = 1.0 / len(sums)
+    return [total * scale for total in sums]
+
+
+def signsum_ring_allreduce(
+    cluster: Cluster,
+    sign_vectors: list[np.ndarray],
+    ranks: Sequence[int] | None = None,
+    charge_compression: bool = True,
+    elias_coded: bool = False,
+) -> list[np.ndarray]:
+    """Ring all-reduce of integer sign sums with bit-length expansion.
+
+    This is the linear SSDM-under-MAR baseline of Section 3.1: workers
+    all-reduce the coordinate-wise *sum of signs*.  A partial sum over ``m``
+    workers lies in ``[-m, +m]`` and is charged
+    ``ceil(log2(m + 1)) + 1`` bits per element on the wire
+    (:func:`signed_int_bit_width`), so the message grows every hop up to
+    ``~log2(M)`` bits — never back down to one bit.
+
+    Args:
+        sign_vectors: per-worker ``{-1, +1}`` vectors.
+        charge_compression: charge sign-extraction time to the timeline.
+        elias_coded: charge each hop at the exact Elias-gamma entropy code
+            of the zigzagged partial sums (the Section 5 "Elias coding to
+            compact the transmission message" baseline) instead of the fixed
+            expanded width.  Shorter on average (small sums dominate) but
+            still strictly more than one bit per element.
+
+    Returns:
+        Per-worker integer sum vectors (all equal).
+    """
+    cycle = _ring_ranks(cluster, ranks)
+    size = len(cycle)
+    if len(sign_vectors) != size:
+        raise ValueError("one sign vector per ring position required")
+    for vector in sign_vectors:
+        if not np.isin(vector, (-1, 1)).all():
+            raise ValueError("sign vectors must be over {-1, +1}")
+    if charge_compression:
+        total_elements = sum(int(np.asarray(v).size) for v in sign_vectors)
+        cluster.charge(
+            Phase.COMPRESSION, cluster.cost_model.compress_time(total_elements)
+        )
+    if size == 1:
+        return [np.asarray(sign_vectors[0], dtype=np.int64).copy()]
+
+    def wrap(segment: np.ndarray, contributors: int) -> SizedPayload:
+        segment = np.asarray(segment, dtype=np.int64)
+        if elias_coded and segment.size:
+            from repro.comm.bits import elias_gamma_encode, zigzag_encode
+
+            # A sum of m iid signs lives on {-m, -m+2, ..., m} with a
+            # binomial peak at 0; re-index by half-steps from the mode so
+            # the common values get the short gamma codes.
+            half_steps = (segment + contributors) // 2 - contributors // 2
+            _, coded_bits = elias_gamma_encode(zigzag_encode(half_steps))
+            nbytes = (coded_bits + 7) // 8
+        else:
+            bits = signed_int_bit_width(contributors)
+            nbytes = (bits * int(segment.size) + 7) // 8
+        return SizedPayload(value=segment, nbytes=nbytes)
+
+    segments: list[list[Any]] = [
+        [wrap(seg, 1) for seg in split_segments(np.asarray(vec, dtype=np.int64), size)]
+        for vec in sign_vectors
+    ]
+
+    def combine(received: SizedPayload, local: SizedPayload, step: int) -> SizedPayload:
+        merged = received.value + local.value
+        return wrap(merged, step + 2)
+
+    ring_reduce_scatter(cluster, segments, combine, ranks=cycle)
+    ring_all_gather(cluster, segments, ranks=cycle)
+    return [
+        np.concatenate([seg.value for seg in worker_segments])
+        for worker_segments in segments
+    ]

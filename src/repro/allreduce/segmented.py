@@ -1,0 +1,53 @@
+"""Segmented-ring all-reduce (Jia et al. 2018 — paper ref [25]).
+
+The vector is cut into fixed-size segments that are pipelined through
+independent ring all-reduces; small segments keep per-step messages under
+the NIC's optimal packet size and overlap reduce/gather of different
+segments.  In the synchronous timing model the pipelining shows up as more,
+smaller steps; traffic volume matches the plain ring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.cluster import Cluster
+from repro.allreduce.ring import ring_allreduce_sum
+
+__all__ = ["segmented_ring_allreduce"]
+
+
+def segmented_ring_allreduce(
+    cluster: Cluster,
+    vectors: list[np.ndarray],
+    segment_elems: int,
+    wire_dtype: np.dtype = np.dtype(np.float32),
+) -> list[np.ndarray]:
+    """Pipelined ring all-reduce with a fixed segment size.
+
+    Args:
+        vectors: per-worker vectors (equal dimension).
+        segment_elems: elements per pipeline segment; each segment runs a
+            full ring all-reduce of its slice.
+
+    Returns:
+        Per-worker sums.
+    """
+    if segment_elems < 1:
+        raise ValueError("segment_elems must be >= 1")
+    num = cluster.num_workers
+    if len(vectors) != num:
+        raise ValueError(f"expected {num} vectors, got {len(vectors)}")
+    arrays = [np.asarray(vector, dtype=np.float64) for vector in vectors]
+    dimension = arrays[0].size
+    if any(a.size != dimension for a in arrays):
+        raise ValueError("all vectors must share one dimension")
+
+    outputs = [np.empty(dimension) for _ in range(num)]
+    for start in range(0, dimension, segment_elems):
+        stop = min(start + segment_elems, dimension)
+        slices = [a[start:stop] for a in arrays]
+        reduced = ring_allreduce_sum(cluster, slices, wire_dtype=wire_dtype)
+        for rank in range(num):
+            outputs[rank][start:stop] = reduced[rank]
+    return outputs

@@ -1,0 +1,85 @@
+"""Tree all-reduce: reduce up to the root, broadcast back down.
+
+Mentioned in the paper (Section 5, "Implementation") as an all-reduce
+paradigm Marsit extends to.  Depth-synchronous: all transfers at one tree
+level overlap in a single timing step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.comm.cluster import Cluster
+
+__all__ = ["tree_allreduce"]
+
+
+def _levels(num_workers: int, arity: int) -> list[list[int]]:
+    """Group ranks by depth in the implicit arity-ary heap layout."""
+    depth_of = [0] * num_workers
+    for rank in range(1, num_workers):
+        depth_of[rank] = depth_of[(rank - 1) // arity] + 1
+    max_depth = max(depth_of)
+    levels: list[list[int]] = [[] for _ in range(max_depth + 1)]
+    for rank, depth in enumerate(depth_of):
+        levels[depth].append(rank)
+    return levels
+
+
+def tree_allreduce(
+    cluster: Cluster,
+    vectors: list[np.ndarray],
+    reduce_pair: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    finalize: Callable[[np.ndarray], Any] | None = None,
+) -> list[np.ndarray]:
+    """All-reduce over a tree topology.
+
+    Args:
+        cluster: must use ``tree_topology``.
+        vectors: per-worker vectors.
+        reduce_pair: pairwise fold; defaults to addition.
+        finalize: applied at the root before broadcast (e.g. divide by M).
+
+    Returns:
+        Per-worker results (all equal to the finalized root value).
+    """
+    meta = cluster.topology.meta
+    if cluster.topology.name != "tree" or "arity" not in meta:
+        raise ValueError("tree_allreduce requires a tree topology")
+    arity, root = meta["arity"], meta["root"]
+    num = cluster.num_workers
+    if len(vectors) != num:
+        raise ValueError(f"expected {num} vectors, got {len(vectors)}")
+    if reduce_pair is None:
+        reduce_pair = lambda a, b: a + b  # noqa: E731 - trivial default fold
+
+    partial = [np.asarray(vector, dtype=np.float64).copy() for vector in vectors]
+    levels = _levels(num, arity)
+
+    # Reduce: deepest level first, each level one synchronous step.
+    for level in reversed(levels[1:]):
+        cluster.begin_step()
+        for rank in level:
+            cluster.send(rank, (rank - 1) // arity, partial[rank], tag="reduce")
+        for rank in level:
+            parent = (rank - 1) // arity
+            received = cluster.recv(parent, rank, tag="reduce")
+            partial[parent] = reduce_pair(partial[parent], received)
+        cluster.end_step()
+
+    result = partial[root] if finalize is None else finalize(partial[root])
+    final = [None] * num
+    final[root] = result
+
+    # Broadcast: shallowest level first.
+    for level in levels[1:]:
+        cluster.begin_step()
+        for rank in level:
+            parent = (rank - 1) // arity
+            cluster.send(parent, rank, final[parent], tag="bcast")
+        for rank in level:
+            final[rank] = cluster.recv(rank, (rank - 1) // arity, tag="bcast")
+        cluster.end_step()
+    return [np.asarray(value, dtype=np.float64) for value in final]

@@ -1,0 +1,27 @@
+"""Shared benchmark harness: workload specs and report printers.
+
+Every script in ``benchmarks/`` regenerates one paper table or figure; the
+workload definitions (model + dataset + tuned per-strategy hyperparameters)
+live here so Table 2 and Figures 3-5 stay mutually consistent.
+"""
+
+from repro.bench.reporting import format_table, print_series, print_table, save_report
+from repro.bench.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    build_strategy,
+    calibrate_global_lr,
+    strategy_names,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_strategy",
+    "calibrate_global_lr",
+    "format_table",
+    "print_series",
+    "print_table",
+    "save_report",
+    "strategy_names",
+]

@@ -1,0 +1,114 @@
+"""Plain-text table and series printers for benchmark output."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+__all__ = [
+    "ascii_plot",
+    "format_table",
+    "print_series",
+    "print_table",
+    "save_report",
+]
+
+
+def save_report(name: str, text: str, directory: str | None = None) -> None:
+    """Print a report and persist it under ``benchmarks/results/``.
+
+    ``EXPERIMENTS.md`` references these files; benches call this so the
+    regenerated tables survive the pytest run.
+    """
+    print(text)
+    base = pathlib.Path(directory) if directory else pathlib.Path("benchmarks/results")
+    try:
+        base.mkdir(parents=True, exist_ok=True)
+        (base / f"{name}.txt").write_text(text + "\n")
+    except OSError:
+        pass  # read-only checkout: printing is still the primary output
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(value.ljust(widths[col]) for col, value in enumerate(row))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print a titled table (one paper table / figure legend)."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render (x, y) series as a character plot (one glyph per series).
+
+    Good enough to eyeball a Figure 3/4-style accuracy curve in a terminal
+    or a results file without a plotting stack.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("ascii_plot needs at least one non-empty series")
+    glyphs = "ox+*#@%&"
+    all_points = [p for points in series.values() for p in points]
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = glyph
+    lines = [f"{y_hi:>8.3g} |" + "".join(grid[0])]
+    lines += ["         |" + "".join(row) for row in grid[1:-1]]
+    lines += [f"{y_lo:>8.3g} |" + "".join(grid[-1])]
+    lines += ["         +" + "-" * width]
+    lines += [f"          {x_lo:<.4g}{'':>{max(1, width - 16)}}{x_hi:>.4g}"]
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    return "\n".join(lines) + f"\n          {legend}"
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    series: dict[str, list[tuple[float, float]]],
+    precision: int = 4,
+) -> None:
+    """Print named (x, y) series — the textual form of a paper figure."""
+    print(f"\n=== {title} ===  (x = {x_label})")
+    for name, points in series.items():
+        rendered = " ".join(
+            f"({x:.{precision}g},{y:.{precision}g})" for x, y in points
+        )
+        print(f"  {name}: {rendered}")

@@ -1,0 +1,56 @@
+"""Communication substrate: bit codecs, topologies, simulated cluster, timing.
+
+This package provides everything below the all-reduce layer:
+
+- :mod:`repro.comm.bits` — sign-bit packing and Elias integer codes.
+- :mod:`repro.comm.topology` — ring / 2D-torus / star / tree graphs.
+- :mod:`repro.comm.cluster` — an in-process simulated cluster whose workers
+  exchange messages over explicit links, with byte accounting.
+- :mod:`repro.comm.timing` — the alpha-beta analytical cost model used to
+  produce the paper's simulated wall-clock results.
+"""
+
+from repro.comm.bits import (
+    BitVector,
+    elias_delta_decode,
+    elias_delta_encode,
+    elias_gamma_decode,
+    elias_gamma_encode,
+    pack_signs,
+    signed_int_bit_width,
+    unpack_signs,
+)
+from repro.comm.cluster import Cluster, Link, Message, Worker
+from repro.comm.timing import CostModel, Phase, TimeLine
+from repro.comm.topology import (
+    Topology,
+    fully_connected_topology,
+    ring_topology,
+    star_topology,
+    torus_topology,
+    tree_topology,
+)
+
+__all__ = [
+    "BitVector",
+    "Cluster",
+    "CostModel",
+    "Link",
+    "Message",
+    "Phase",
+    "TimeLine",
+    "Topology",
+    "Worker",
+    "elias_delta_decode",
+    "elias_delta_encode",
+    "elias_gamma_decode",
+    "elias_gamma_encode",
+    "fully_connected_topology",
+    "pack_signs",
+    "ring_topology",
+    "signed_int_bit_width",
+    "star_topology",
+    "torus_topology",
+    "tree_topology",
+    "unpack_signs",
+]

@@ -1,0 +1,246 @@
+"""Bit-level codecs used on the simulated wire.
+
+Three codec families live here:
+
+1. **Sign-bit packing** — a sign vector over ``{-1, +1}`` (or the bit
+   convention ``{0, 1}`` with ``1 == +1``) is stored eight elements per byte.
+   This is the one-bit representation Marsit puts on the wire every hop.
+2. **Elias gamma/delta codes** — universal codes for positive integers.  The
+   paper's baselines compact multi-bit sign sums with Elias coding (Section 5,
+   "Baselines"), so SSDM-under-MAR messages can be entropy-coded here.
+3. **Width accounting** — :func:`signed_int_bit_width` computes the fixed
+   number of bits needed for a partial sign sum after ``m`` hops, which models
+   the bit-length expansion of Section 3.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BitVector",
+    "elias_delta_decode",
+    "elias_delta_encode",
+    "elias_gamma_decode",
+    "elias_gamma_encode",
+    "pack_signs",
+    "signed_int_bit_width",
+    "unpack_signs",
+    "zigzag_decode",
+    "zigzag_encode",
+]
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to positive ones: 0,-1,1,-2,2 -> 1,2,3,4,5.
+
+    Shifted by one relative to protobuf zigzag so the output is strictly
+    positive, as Elias codes require.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    return np.where(values >= 0, 2 * values + 1, -2 * values)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 1:
+        raise ValueError("zigzag codes are strictly positive")
+    return np.where(values % 2 == 1, (values - 1) // 2, -(values // 2))
+
+
+@dataclass(frozen=True)
+class BitVector:
+    """An immutable packed vector of bits.
+
+    ``data`` holds ``ceil(length / 8)`` bytes; bit ``j`` of the logical vector
+    is bit ``j % 8`` (LSB-first) of byte ``j // 8``.  The class exists so that
+    all-reduce code can move *exactly* the number of bytes a real
+    implementation would, and so tests can round-trip through the packed
+    representation.
+    """
+
+    data: bytes
+    length: int
+
+    def __post_init__(self) -> None:
+        expected = (self.length + 7) // 8
+        if len(self.data) != expected:
+            raise ValueError(
+                f"BitVector of length {self.length} needs {expected} bytes, "
+                f"got {len(self.data)}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Number of bytes this vector occupies on the wire."""
+        return len(self.data)
+
+    def to_bits(self) -> np.ndarray:
+        """Return the logical bits as a ``uint8`` array of 0/1 values."""
+        raw = np.frombuffer(self.data, dtype=np.uint8)
+        bits = np.unpackbits(raw, bitorder="little")
+        return bits[: self.length].copy()
+
+    def to_signs(self) -> np.ndarray:
+        """Return the vector as ``float64`` signs: bit 1 -> +1, bit 0 -> -1."""
+        return self.to_bits().astype(np.float64) * 2.0 - 1.0
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "BitVector":
+        """Pack an array of 0/1 values into a :class:`BitVector`."""
+        bits = np.asarray(bits)
+        if bits.ndim != 1:
+            raise ValueError("from_bits expects a 1-D array")
+        if bits.size and not np.isin(bits, (0, 1)).all():
+            raise ValueError("from_bits expects only 0/1 values")
+        packed = np.packbits(bits.astype(np.uint8), bitorder="little")
+        return cls(data=packed.tobytes(), length=int(bits.size))
+
+    @classmethod
+    def from_signs(cls, signs: np.ndarray) -> "BitVector":
+        """Pack a ``{-1, +1}`` vector; zero is treated as +1 (sign of 0)."""
+        signs = np.asarray(signs)
+        return cls.from_bits((signs >= 0).astype(np.uint8))
+
+
+def pack_signs(values: np.ndarray) -> BitVector:
+    """Compress ``values`` to one bit per element keeping only the sign.
+
+    Zeros map to +1, matching the convention ``sgn(0) = +1`` used throughout
+    the library so that every transmitted bit decodes to a nonzero sign.
+    """
+    return BitVector.from_signs(np.asarray(values, dtype=np.float64))
+
+
+def unpack_signs(vector: BitVector) -> np.ndarray:
+    """Inverse of :func:`pack_signs` up to magnitude: returns ``{-1, +1}``."""
+    return vector.to_signs()
+
+
+def signed_int_bit_width(max_abs_value: int) -> int:
+    """Bits for a fixed-width signed encoding of ``[-v, +v]``.
+
+    Models Section 3.1's bit-length expansion: a sum of ``m`` signs lies in
+    ``{-m, ..., +m}`` and needs ``ceil(log2(m + 1)) + 1`` bits (magnitude plus
+    a sign bit).  ``m = 1`` correctly yields 1 bit because the values are then
+    only ``{-1, +1}`` and the sign bit alone is enough.
+    """
+    if max_abs_value < 1:
+        raise ValueError("max_abs_value must be >= 1")
+    if max_abs_value == 1:
+        return 1
+    return math.ceil(math.log2(max_abs_value + 1)) + 1
+
+
+class _BitWriter:
+    """Accumulates bits MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, bit: int) -> None:
+        self._bits.append(bit & 1)
+
+    def write_int(self, value: int, width: int) -> None:
+        for shift in range(width - 1, -1, -1):
+            self.write((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        bits = np.array(self._bits, dtype=np.uint8)
+        return np.packbits(bits, bitorder="big").tobytes()
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+
+class _BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        raw = np.frombuffer(data, dtype=np.uint8)
+        self._bits = np.unpackbits(raw, bitorder="big")
+        self._pos = 0
+
+    def read(self) -> int:
+        if self._pos >= self._bits.size:
+            raise EOFError("bit stream exhausted")
+        bit = int(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read_int(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read()
+        return value
+
+    @property
+    def remaining(self) -> int:
+        return int(self._bits.size - self._pos)
+
+
+def _elias_gamma_write(writer: _BitWriter, value: int) -> None:
+    if value < 1:
+        raise ValueError("Elias gamma encodes positive integers only")
+    n = value.bit_length() - 1
+    for _ in range(n):
+        writer.write(0)
+    writer.write_int(value, n + 1)
+
+
+def _elias_gamma_read(reader: _BitReader) -> int:
+    n = 0
+    while reader.read() == 0:
+        n += 1
+    value = 1
+    for _ in range(n):
+        value = (value << 1) | reader.read()
+    return value
+
+
+def elias_gamma_encode(values: np.ndarray | list[int]) -> tuple[bytes, int]:
+    """Elias-gamma encode positive integers.
+
+    Returns ``(payload, bit_count)``; ``bit_count`` is the exact number of
+    meaningful bits (the payload is padded to a byte boundary).
+    """
+    writer = _BitWriter()
+    for value in np.asarray(values, dtype=np.int64):
+        _elias_gamma_write(writer, int(value))
+    return writer.getvalue(), len(writer)
+
+
+def elias_gamma_decode(payload: bytes, count: int) -> np.ndarray:
+    """Decode ``count`` Elias-gamma integers from ``payload``."""
+    reader = _BitReader(payload)
+    return np.array([_elias_gamma_read(reader) for _ in range(count)], dtype=np.int64)
+
+
+def elias_delta_encode(values: np.ndarray | list[int]) -> tuple[bytes, int]:
+    """Elias-delta encode positive integers (gamma-coded length prefix)."""
+    writer = _BitWriter()
+    for raw in np.asarray(values, dtype=np.int64):
+        value = int(raw)
+        if value < 1:
+            raise ValueError("Elias delta encodes positive integers only")
+        n = value.bit_length()
+        _elias_gamma_write(writer, n)
+        writer.write_int(value & ((1 << (n - 1)) - 1), n - 1)
+    return writer.getvalue(), len(writer)
+
+
+def elias_delta_decode(payload: bytes, count: int) -> np.ndarray:
+    """Decode ``count`` Elias-delta integers from ``payload``."""
+    reader = _BitReader(payload)
+    out = []
+    for _ in range(count):
+        n = _elias_gamma_read(reader)
+        value = 1
+        for _ in range(n - 1):
+            value = (value << 1) | reader.read()
+        out.append(value)
+    return np.array(out, dtype=np.int64)

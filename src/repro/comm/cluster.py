@@ -1,0 +1,257 @@
+"""In-process simulated cluster with explicit message passing.
+
+The cluster is the stand-in for the paper's 32-node testbed.  Worker code
+calls :meth:`Cluster.send` / :meth:`Cluster.recv` exactly where a PyTorch
+implementation would call ``dist.send`` / ``dist.recv``; the cluster
+
+- enforces that messages only travel along topology edges,
+- counts every byte per link and in total (Figure 4b's x-axis), and
+- groups transfers into synchronous *steps* so the timing model can charge
+  the makespan of each step (concurrent transfers overlap, like a real
+  all-reduce ring stage).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.comm.bits import BitVector
+from repro.comm.timing import CostModel, Phase, TimeLine
+from repro.comm.topology import Topology
+
+__all__ = ["Cluster", "Link", "Message", "SizedPayload", "Worker", "payload_nbytes"]
+
+
+@dataclass(frozen=True)
+class SizedPayload:
+    """A payload with an explicitly modelled wire size.
+
+    Used when the in-memory representation is wider than the modelled wire
+    format — e.g. an ``int64`` array of partial sign sums that a real
+    implementation would pack at ``ceil(log2(m+1)) + 1`` bits per element
+    (Section 3.1's bit-length expansion), or an Elias-coded stream.
+    """
+
+    value: Any
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Wire size in bytes of a message payload.
+
+    numpy arrays are charged their raw buffer size, :class:`BitVector` its
+    packed size, :class:`SizedPayload` (and any object exposing an integer
+    ``nbytes``) its declared size, and containers the sum of their items.
+    Scalars are charged eight bytes (a double / int64 on the wire).
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, BitVector):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(value) for value in payload.values())
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    if payload is None:
+        return 0
+    nbytes = getattr(payload, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    raise TypeError(f"cannot size payload of type {type(payload)!r}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point transfer."""
+
+    src: int
+    dst: int
+    payload: Any
+    nbytes: int
+    tag: str = ""
+
+
+@dataclass
+class Link:
+    """Per-edge traffic accounting."""
+
+    src: int
+    dst: int
+    bytes_sent: int = 0
+    messages_sent: int = 0
+
+
+@dataclass
+class Worker:
+    """A worker handle: a rank plus an inbound mailbox.
+
+    Mailboxes are FIFO per ``(src, tag)`` pair, which is how point-to-point
+    ordering behaves in MPI/NCCL-style transports.
+    """
+
+    rank: int
+    mailbox: dict = field(default_factory=lambda: defaultdict(deque))
+
+    def deliver(self, message: Message) -> None:
+        self.mailbox[(message.src, message.tag)].append(message)
+
+    def take(self, src: int, tag: str = "") -> Message:
+        queue = self.mailbox[(src, tag)]
+        if not queue:
+            raise LookupError(
+                f"worker {self.rank} has no pending message from {src} "
+                f"with tag {tag!r}"
+            )
+        return queue.popleft()
+
+    def pending(self) -> int:
+        return sum(len(queue) for queue in self.mailbox.values())
+
+
+class Cluster:
+    """A synchronous simulated cluster over a :class:`Topology`.
+
+    Args:
+        topology: the communication graph; sends off-graph raise.
+        cost_model: converts bytes/flops into simulated seconds.  When
+            ``None`` a default :class:`CostModel` is used.
+        strict: when True (default), :meth:`recv` with no matching message
+            raises immediately instead of deadlocking silently.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cost_model: CostModel | None = None,
+        strict: bool = True,
+        link_speed_factors: dict[tuple[int, int], float] | None = None,
+    ) -> None:
+        """See class docstring.
+
+        ``link_speed_factors`` scales individual links' bandwidth (a factor
+        of 0.5 halves that link's speed) — the straggler-link model.  A
+        synchronous step's makespan is the slowest link's time, so one slow
+        link stalls a whole ring stage.
+        """
+        topology.validate()
+        self.topology = topology
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.strict = strict
+        self.link_speed_factors = dict(link_speed_factors or {})
+        for (src, dst), factor in self.link_speed_factors.items():
+            if not topology.has_edge(src, dst):
+                raise ValueError(f"speed factor for missing link {src}->{dst}")
+            if factor <= 0:
+                raise ValueError("link speed factors must be positive")
+        self.workers = [Worker(rank) for rank in range(topology.num_workers)]
+        self.links: dict[tuple[int, int], Link] = {
+            (u, v): Link(u, v) for u, v in topology.graph.edges
+        }
+        self.timeline = TimeLine()
+        self.total_bytes = 0
+        self.total_messages = 0
+        self._step_bytes: dict[tuple[int, int], int] = {}
+        self._in_step = False
+
+    @property
+    def num_workers(self) -> int:
+        return self.topology.num_workers
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any, tag: str = "") -> Message:
+        """Send ``payload`` from ``src`` to ``dst`` along a topology edge."""
+        if not self.topology.has_edge(src, dst):
+            raise ValueError(
+                f"no link {src} -> {dst} in {self.topology.name} topology"
+            )
+        nbytes = payload_nbytes(payload)
+        message = Message(src=src, dst=dst, payload=payload, nbytes=nbytes, tag=tag)
+        self.workers[dst].deliver(message)
+        link = self.links[(src, dst)]
+        link.bytes_sent += nbytes
+        link.messages_sent += 1
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        if self._in_step:
+            key = (src, dst)
+            self._step_bytes[key] = self._step_bytes.get(key, 0) + nbytes
+        return message
+
+    def recv(self, dst: int, src: int, tag: str = "") -> Any:
+        """Receive the oldest pending message from ``src`` at ``dst``."""
+        if self.strict:
+            return self.workers[dst].take(src, tag).payload
+        try:
+            return self.workers[dst].take(src, tag).payload
+        except LookupError:
+            return None
+
+    # ------------------------------------------------------------------
+    # synchronous stepping for the timing model
+    # ------------------------------------------------------------------
+    def begin_step(self) -> None:
+        """Open a synchronous step: all sends until ``end_step`` overlap."""
+        if self._in_step:
+            raise RuntimeError("step already open")
+        self._in_step = True
+        self._step_bytes = {}
+
+    def end_step(self) -> float:
+        """Close the step and charge its makespan to the timeline.
+
+        The step time is the slowest link's ``latency + bytes / bandwidth``;
+        all transfers inside one step are concurrent, which models one stage
+        of a ring (every worker sends to its successor simultaneously).
+        """
+        if not self._in_step:
+            raise RuntimeError("no step open")
+        self._in_step = False
+        if not self._step_bytes:
+            return 0.0
+        elapsed = max(
+            self._link_transfer_time(link, nbytes)
+            for link, nbytes in self._step_bytes.items()
+        )
+        self.timeline.add(Phase.COMMUNICATION, elapsed)
+        return elapsed
+
+    def _link_transfer_time(self, link: tuple[int, int], nbytes: int) -> float:
+        factor = self.link_speed_factors.get(link, 1.0)
+        model = self.cost_model
+        return model.latency_s + nbytes / (model.bandwidth_Bps * factor)
+
+    def charge(self, phase: Phase, seconds: float) -> None:
+        """Charge non-communication time (computation / compression)."""
+        self.timeline.add(phase, seconds)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def assert_drained(self) -> None:
+        """Raise if any worker still has undelivered messages (leak check)."""
+        leftover = {w.rank: w.pending() for w in self.workers if w.pending()}
+        if leftover:
+            raise AssertionError(f"undrained mailboxes: {leftover}")
+
+    def reset_accounting(self) -> None:
+        """Zero traffic counters and the timeline, keeping mailboxes intact."""
+        for link in self.links.values():
+            link.bytes_sent = 0
+            link.messages_sent = 0
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.timeline = TimeLine()

@@ -1,0 +1,118 @@
+"""Alpha-beta analytical cost model and per-phase time accounting.
+
+The paper reports wall-clock time on a real cluster; our substitution is the
+standard alpha-beta model used throughout the collective-communication
+literature: sending ``n`` bytes over one link costs ``alpha + n / beta``
+seconds (``alpha`` = latency, ``beta`` = bandwidth).  Computation and
+compression are charged per element from a cost book whose defaults are
+calibrated so that the *proportions* in Figures 1a and 5 (communication
+dominates under RAR; cascading's decompress/compress period is large;
+Marsit's compression overlaps reception) come out of the model rather than
+being hard-coded.
+
+Phases mirror Figure 5's three colors: computation (grey), compression (red),
+communication (blue).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["CostModel", "Phase", "TimeLine"]
+
+
+class Phase(enum.Enum):
+    """The three time buckets of Figure 5."""
+
+    COMPUTATION = "computation"
+    COMPRESSION = "compression"
+    COMMUNICATION = "communication"
+
+
+@dataclass
+class CostModel:
+    """Simulated-time cost constants.
+
+    Attributes:
+        latency_s: per-message link latency (alpha), seconds.
+        bandwidth_Bps: link bandwidth (beta), bytes per second.  The default
+            1.25e9 B/s is a 10 Gbps cloud NIC.
+        flops_per_s: dense compute throughput for forward/backward passes.
+        compress_elems_per_s: throughput of sign extraction / quantization.
+        decompress_elems_per_s: throughput of decompression (cascading pays
+            this serially on every hop).
+        rng_elems_per_s: throughput of Bernoulli draws for Marsit's transient
+            vector.  It is charged to the compression phase but, because the
+            draw runs concurrently with reception (Section 4.1.1), the model
+            only charges the *excess* over the overlapped receive when asked.
+    """
+
+    latency_s: float = 25e-6
+    bandwidth_Bps: float = 1.25e9
+    flops_per_s: float = 4.0e12
+    compress_elems_per_s: float = 2.0e9
+    decompress_elems_per_s: float = 2.0e9
+    rng_elems_per_s: float = 4.0e9
+    bitop_elems_per_s: float = 2.0e10
+
+    def transfer_time(self, nbytes: int) -> float:
+        """alpha + n/beta for one link transfer."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds of dense computation."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.flops_per_s
+
+    def compress_time(self, num_elements: int) -> float:
+        """Seconds to quantize/sign-extract ``num_elements`` values."""
+        return num_elements / self.compress_elems_per_s
+
+    def decompress_time(self, num_elements: int) -> float:
+        """Seconds to decompress ``num_elements`` values."""
+        return num_elements / self.decompress_elems_per_s
+
+    def rng_time(self, num_elements: int) -> float:
+        """Seconds to draw ``num_elements`` Bernoulli samples."""
+        return num_elements / self.rng_elems_per_s
+
+    def bitop_time(self, num_elements: int) -> float:
+        """Seconds for element-wise AND/XOR/OR merges (Marsit's ``⊙``)."""
+        return num_elements / self.bitop_elems_per_s
+
+
+@dataclass
+class TimeLine:
+    """Accumulated simulated seconds per :class:`Phase`."""
+
+    seconds: dict[Phase, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in Phase}
+    )
+
+    def add(self, phase: Phase, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("cannot add negative time")
+        self.seconds[phase] += amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase name -> seconds, for reporting."""
+        return {phase.value: self.seconds[phase] for phase in Phase}
+
+    def merged_with(self, other: "TimeLine") -> "TimeLine":
+        merged = TimeLine()
+        for phase in Phase:
+            merged.seconds[phase] = self.seconds[phase] + other.seconds[phase]
+        return merged
+
+    def copy(self) -> "TimeLine":
+        fresh = TimeLine()
+        fresh.seconds = dict(self.seconds)
+        return fresh

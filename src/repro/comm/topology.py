@@ -1,0 +1,166 @@
+"""Network topologies for multi-hop all-reduce.
+
+A :class:`Topology` wraps a directed :class:`networkx.DiGraph` whose nodes are
+worker ranks ``0..M-1``.  All-reduce algorithms query successor/predecessor
+relations rather than hard-coding ring arithmetic, so the same reduce code
+runs over a plain ring, each ring of a 2D torus, or a star.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = [
+    "Topology",
+    "fully_connected_topology",
+    "ring_topology",
+    "star_topology",
+    "torus_topology",
+    "tree_topology",
+]
+
+
+@dataclass
+class Topology:
+    """A directed communication graph over worker ranks.
+
+    Attributes:
+        graph: the underlying directed graph; an edge ``(u, v)`` means worker
+            ``u`` may send directly to worker ``v``.
+        name: human-readable topology family (``"ring"``, ``"torus"``, ...).
+        meta: topology-specific layout data (e.g. torus ``rows``/``cols``).
+    """
+
+    graph: nx.DiGraph
+    name: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_workers(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def neighbors_out(self, rank: int) -> list[int]:
+        """Ranks this worker may send to, sorted for determinism."""
+        return sorted(self.graph.successors(rank))
+
+    def neighbors_in(self, rank: int) -> list[int]:
+        """Ranks this worker may receive from, sorted for determinism."""
+        return sorted(self.graph.predecessors(rank))
+
+    def successor(self, rank: int) -> int:
+        """The unique out-neighbor; only valid for ring-like topologies."""
+        out = self.neighbors_out(rank)
+        if len(out) != 1:
+            raise ValueError(
+                f"rank {rank} has {len(out)} out-neighbors; "
+                "successor() requires exactly one"
+            )
+        return out[0]
+
+    def predecessor(self, rank: int) -> int:
+        """The unique in-neighbor; only valid for ring-like topologies."""
+        incoming = self.neighbors_in(rank)
+        if len(incoming) != 1:
+            raise ValueError(
+                f"rank {rank} has {len(incoming)} in-neighbors; "
+                "predecessor() requires exactly one"
+            )
+        return incoming[0]
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return self.graph.has_edge(src, dst)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        nodes = sorted(self.graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValueError("topology nodes must be contiguous ranks 0..M-1")
+        if len(nodes) < 1:
+            raise ValueError("topology must contain at least one worker")
+        if not nx.is_weakly_connected(self.graph) and len(nodes) > 1:
+            raise ValueError("topology must be connected")
+
+
+def ring_topology(num_workers: int, bidirectional: bool = False) -> Topology:
+    """Ring: rank ``i`` sends to ``(i + 1) % M``.
+
+    ``bidirectional=True`` adds the reverse links too (needed by gossip,
+    harmless for the all-reduce schedules, which only use forward links).
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_workers))
+    for rank in range(num_workers):
+        if num_workers > 1:
+            graph.add_edge(rank, (rank + 1) % num_workers)
+            if bidirectional:
+                graph.add_edge((rank + 1) % num_workers, rank)
+    return Topology(graph=graph, name="ring", meta={"bidirectional": bidirectional})
+
+
+def torus_topology(rows: int, cols: int) -> Topology:
+    """2D torus: each rank joins a horizontal ring and a vertical ring.
+
+    Rank layout is row-major: rank ``r * cols + c`` sits at grid cell
+    ``(r, c)``.  Edges run rightwards along rows and downwards along columns
+    (with wraparound), matching the two-phase TAR schedule of Mikami et al.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    graph = nx.DiGraph()
+    num = rows * cols
+    graph.add_nodes_from(range(num))
+    for r in range(rows):
+        for c in range(cols):
+            rank = r * cols + c
+            if cols > 1:
+                graph.add_edge(rank, r * cols + (c + 1) % cols, axis="row")
+            if rows > 1:
+                graph.add_edge(rank, ((r + 1) % rows) * cols + c, axis="col")
+    return Topology(graph=graph, name="torus", meta={"rows": rows, "cols": cols})
+
+
+def star_topology(num_workers: int, server: int = 0) -> Topology:
+    """Star used by the parameter-server baseline: all leaves <-> server."""
+    if num_workers < 2:
+        raise ValueError("star topology needs at least a server and a worker")
+    if not 0 <= server < num_workers:
+        raise ValueError("server rank out of range")
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_workers))
+    for rank in range(num_workers):
+        if rank != server:
+            graph.add_edge(rank, server, role="up")
+            graph.add_edge(server, rank, role="down")
+    return Topology(graph=graph, name="star", meta={"server": server})
+
+
+def tree_topology(num_workers: int, arity: int = 2) -> Topology:
+    """Rooted ``arity``-ary tree with bidirectional parent/child links."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if arity < 1:
+        raise ValueError("arity must be >= 1")
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_workers))
+    for rank in range(1, num_workers):
+        parent = (rank - 1) // arity
+        graph.add_edge(rank, parent, role="up")
+        graph.add_edge(parent, rank, role="down")
+    return Topology(graph=graph, name="tree", meta={"arity": arity, "root": 0})
+
+
+def fully_connected_topology(num_workers: int) -> Topology:
+    """Complete digraph; used by gossip and by PS-style direct exchange."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_workers))
+    for src in range(num_workers):
+        for dst in range(num_workers):
+            if src != dst:
+                graph.add_edge(src, dst)
+    return Topology(graph=graph, name="full")

@@ -1,0 +1,61 @@
+"""EF-signSGD: error-feedback sign compression (Karimireddy et al., 2019).
+
+Each worker keeps a residual memory ``e``.  At every round it compresses the
+corrected gradient ``p = e + g`` to the *scaled* sign
+``delta = (||p||_1 / d) * sign(p)`` — the scaling makes the compressor a
+contraction — and carries the leftover ``e <- p - delta`` into the next
+round.  Error feedback is what "fixes" the bias of plain signSGD at the cost
+of per-worker state; Marsit's *global* compensation plays the analogous role
+without requiring workers to know their individual contribution to the
+multi-hop aggregate (paper Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.bits import BitVector
+from repro.compression.base import Compressor, Payload, ScaledSignPayload, as_vector
+
+__all__ = ["EFSignCompressor"]
+
+
+class EFSignCompressor(Compressor):
+    """Stateful scaled-sign compressor with local error feedback.
+
+    One instance per worker; :meth:`compress` mutates the residual memory.
+    """
+
+    name = "ef-signsgd"
+    unbiased = False
+
+    def __init__(self) -> None:
+        self._memory: np.ndarray | None = None
+
+    @property
+    def memory(self) -> np.ndarray | None:
+        """The current residual (read-only view for tests/diagnostics)."""
+        return None if self._memory is None else self._memory.copy()
+
+    def compress(
+        self, vector: np.ndarray, rng: np.random.Generator | None = None
+    ) -> Payload:
+        vector = as_vector(vector)
+        if self._memory is None:
+            self._memory = np.zeros_like(vector)
+        if self._memory.shape != vector.shape:
+            raise ValueError(
+                f"gradient dimension changed from {self._memory.shape} "
+                f"to {vector.shape}"
+            )
+        corrected = self._memory + vector
+        scale = float(np.abs(corrected).sum() / corrected.size)
+        signs = np.where(corrected >= 0, 1.0, -1.0)
+        self._memory = corrected - scale * signs
+        return ScaledSignPayload(bits=BitVector.from_signs(signs), scale=scale)
+
+    def nominal_bits_per_element(self) -> float:
+        return 1.0
+
+    def reset(self) -> None:
+        self._memory = None

@@ -1,0 +1,114 @@
+"""SSDM: the unbiased stochastic sign compressor (Safaryan & Richtarik).
+
+An element ``v_j`` is encoded as ``+1`` with probability
+``1/2 + v_j / (2 ||v||_2)`` and ``-1`` otherwise, so
+``E[sign~(v_j)] = v_j / ||v||`` and ``Q(v) = ||v|| * sign~(v)`` is an
+unbiased estimate of ``v`` (paper Appendix A).  The payload carries the sign
+bits plus the scalar norm.
+
+This is the compressor the paper plugs into *cascading compression*
+(Section 3.2) and into the bit-length-expanding SSDM-under-MAR baseline
+(Section 3.1); both of those pipelines live in :mod:`repro.allreduce`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dataclasses import dataclass
+
+from repro.comm.bits import BitVector
+from repro.compression.base import Compressor, Payload, ScaledSignPayload, as_vector
+
+__all__ = ["BlockScaledSignPayload", "SSDMCompressor", "stochastic_sign"]
+
+
+def stochastic_sign(
+    vector: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, float]:
+    """Draw SSDM stochastic signs for ``vector``.
+
+    Returns ``(signs, norm)`` where ``signs`` is over ``{-1, +1}`` and
+    ``norm = ||vector||_2``.  A zero vector returns fair-coin signs with
+    norm 0 so the decoded estimate is exactly the zero vector.
+    """
+    vector = as_vector(vector)
+    norm = float(np.linalg.norm(vector))
+    if norm == 0.0:
+        probs = np.full(vector.shape, 0.5)
+    else:
+        probs = 0.5 + vector / (2.0 * norm)
+    draws = rng.random(vector.shape)
+    signs = np.where(draws < probs, 1.0, -1.0)
+    return signs, norm
+
+
+@dataclass(frozen=True)
+class BlockScaledSignPayload(Payload):
+    """Sign bits plus one float scale per block of ``block_size`` elements."""
+
+    bits: BitVector
+    scales: np.ndarray
+    block_size: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.bits.nbytes + 4 * int(self.scales.size)
+
+    def decode(self) -> np.ndarray:
+        signs = self.bits.to_signs()
+        repeated = np.repeat(self.scales, self.block_size)[: signs.size]
+        return repeated * signs
+
+
+class SSDMCompressor(Compressor):
+    """Unbiased one-bit compressor: ``Q(v) = ||v|| * sign~(v)``.
+
+    ``block_size=None`` (default) normalizes by the global l2 norm — the
+    textbook SSDM operator used in the paper's Appendix A analysis.
+    ``block_size=B`` compresses each B-element block with its own norm
+    (one extra float per block), the standard per-block scaling practical
+    sign-compression implementations use; it raises the per-coordinate
+    signal from ``~1/sqrt(D)`` to ``~1/sqrt(B)``, which is what makes
+    cascading compression converge *at all* at small M (Table 1) while still
+    degrading with every extra hop.
+    """
+
+    name = "ssdm"
+    unbiased = True
+
+    def __init__(self, block_size: int | None = None) -> None:
+        if block_size is not None and block_size < 1:
+            raise ValueError("block_size must be >= 1 or None")
+        self.block_size = block_size
+
+    def compress(
+        self, vector: np.ndarray, rng: np.random.Generator | None = None
+    ) -> Payload:
+        if rng is None:
+            raise ValueError("SSDMCompressor is stochastic; pass an rng")
+        vector = as_vector(vector)
+        if self.block_size is None or vector.size <= self.block_size:
+            signs, norm = stochastic_sign(vector, rng)
+            return ScaledSignPayload(bits=BitVector.from_signs(signs), scale=norm)
+        block = self.block_size
+        num_blocks = (vector.size + block - 1) // block
+        padded = np.zeros(num_blocks * block)
+        padded[: vector.size] = vector
+        blocks = padded.reshape(num_blocks, block)
+        norms = np.linalg.norm(blocks, axis=1)
+        safe = np.where(norms == 0.0, 1.0, norms)
+        probs = 0.5 + blocks / (2.0 * safe[:, None])
+        probs[norms == 0.0] = 0.5
+        draws = rng.random(blocks.shape)
+        signs = np.where(draws < probs, 1.0, -1.0).reshape(-1)[: vector.size]
+        return BlockScaledSignPayload(
+            bits=BitVector.from_signs(signs),
+            scales=norms,
+            block_size=block,
+        )
+
+    def nominal_bits_per_element(self) -> float:
+        if self.block_size is None:
+            return 1.0
+        return 1.0 + 32.0 / self.block_size

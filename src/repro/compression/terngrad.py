@@ -1,0 +1,55 @@
+"""TernGrad: ternary stochastic quantization (Wen et al., NeurIPS 2017).
+
+Each element is mapped to ``{-1, 0, +1} * max|v|`` with stochastic rounding
+``P(nonzero) = |v_j| / max|v|``, giving an unbiased 2-bit-per-element code.
+Related-work baseline (paper Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import Compressor, Payload, as_vector
+
+__all__ = ["TernGradCompressor", "TernaryPayload"]
+
+
+@dataclass(frozen=True)
+class TernaryPayload(Payload):
+    """scale + per-element ternary digits (2 bits each on the wire)."""
+
+    scale: float
+    digits: np.ndarray  # int8 over {-1, 0, +1}
+
+    @property
+    def nbytes(self) -> int:
+        return 4 + (2 * int(self.digits.size) + 7) // 8
+
+    def decode(self) -> np.ndarray:
+        return self.scale * self.digits.astype(np.float64)
+
+
+class TernGradCompressor(Compressor):
+    """Unbiased ternary quantizer with max-norm scaling."""
+
+    name = "terngrad"
+    unbiased = True
+
+    def compress(
+        self, vector: np.ndarray, rng: np.random.Generator | None = None
+    ) -> Payload:
+        if rng is None:
+            raise ValueError("TernGradCompressor is stochastic; pass an rng")
+        vector = as_vector(vector)
+        scale = float(np.abs(vector).max()) if vector.size else 0.0
+        if scale == 0.0:
+            digits = np.zeros(vector.shape, dtype=np.int8)
+        else:
+            keep = rng.random(vector.shape) < np.abs(vector) / scale
+            digits = (np.sign(vector) * keep).astype(np.int8)
+        return TernaryPayload(scale=scale, digits=digits)
+
+    def nominal_bits_per_element(self) -> float:
+        return 2.0

@@ -1,0 +1,570 @@
+"""Marsit synchronization (paper Algorithm 1).
+
+Each round every worker holds an update ``g_t^(m)`` (the local-stepsize-scaled
+gradient, possibly momentum/Adam-transformed) and a compensation vector
+``c_t^(m)``.  The synchronizer:
+
+1. forms the compensated update ``g <- g_t^(m) + c_t^(m)`` (line 1);
+2. on a **one-bit round** (``t mod K != 0``): splits ``g`` into segments,
+   runs the multi-hop reduce where every hop applies the ``⊙`` merge of
+   :mod:`repro.core.sign_ops` to sign-bit segments (lines 4-8), gathers the
+   consensus bit vector, and returns ``g_t = eta_s * signs`` (line 9);
+   compensation becomes ``c <- g - g_t`` (line 10);
+3. on a **full-precision round** (``t mod K == 0``): all-reduces ``g`` in
+   FP32 and resets ``c <- 0`` (lines 12-13).
+
+Timing model for the one-bit path (Section 4.1.1's parallelism claim): the
+local sign extraction and the Bernoulli transient draw for the *next* segment
+run concurrently with the current reception, so only their excess over the
+transfer time hits the critical path; the post-receive bit merge is charged
+fully (it needs the received bits) but runs at bit-op throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.allreduce.ring import ring_allreduce_mean, split_segments
+from repro.allreduce.torus import torus_allreduce_mean, torus_rows_cols
+from repro.comm.bits import BitVector
+from repro.comm.cluster import Cluster
+from repro.comm.timing import Phase
+from repro.core.sign_ops import merge_sign_bits, transient_vector
+
+__all__ = ["MarsitConfig", "MarsitState", "MarsitSynchronizer", "SyncReport"]
+
+
+@dataclass
+class MarsitConfig:
+    """Hyper-parameters of Algorithm 1.
+
+    Attributes:
+        global_lr: ``eta_s``, the stepsize applied to the consensus signs.
+        full_precision_every: ``K``; rounds with ``t % K == 0`` synchronize
+            in FP32 and reset compensation.  ``None`` means never (the paper's
+            plain "Marsit", i.e. ``K = infinity``).
+        seed: root seed for the per-worker transient-vector generators.
+        global_lr_schedule: optional ``round_idx -> multiplier`` applied on
+            top of ``global_lr`` (the experiments decay the LR at every
+            full-precision synchronization).
+        use_compensation: ablation hook — ``False`` zeroes the compensation
+            vector every round (Section 4.1.3's mechanism disabled), so the
+            magnitude residual of each one-bit step is discarded instead of
+            carried forward.
+        segment_elems: when set and the topology is a ring, the one-bit sync
+            runs as a *segmented ring* (paper ref [25]): the vector is cut
+            into fixed-size pipeline segments, each synchronized by its own
+            ring pass — Section 5's "easily extended to segmented-ring
+            all-reduce".
+    """
+
+    global_lr: float
+    full_precision_every: int | None = None
+    seed: int = 0
+    global_lr_schedule: Callable[[int], float] | None = None
+    use_compensation: bool = True
+    segment_elems: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.global_lr <= 0:
+            raise ValueError("global_lr must be positive")
+        if self.full_precision_every is not None and self.full_precision_every < 1:
+            raise ValueError("full_precision_every must be >= 1 or None")
+        if self.segment_elems is not None and self.segment_elems < 1:
+            raise ValueError("segment_elems must be >= 1 or None")
+
+    def is_full_precision_round(self, round_idx: int) -> bool:
+        if self.full_precision_every is None:
+            return False
+        return round_idx % self.full_precision_every == 0
+
+    def effective_global_lr(self, round_idx: int) -> float:
+        if self.global_lr_schedule is None:
+            return self.global_lr
+        return self.global_lr * self.global_lr_schedule(round_idx)
+
+
+@dataclass
+class MarsitState:
+    """Per-worker compensation vectors ``c_t^(m)``."""
+
+    compensation: list[np.ndarray]
+
+    @classmethod
+    def zeros(cls, num_workers: int, dimension: int) -> "MarsitState":
+        return cls(
+            compensation=[np.zeros(dimension) for _ in range(num_workers)]
+        )
+
+
+@dataclass
+class SyncReport:
+    """What one :meth:`MarsitSynchronizer.synchronize` call did."""
+
+    round_idx: int
+    full_precision: bool
+    bits_per_element: float
+    global_updates: list[np.ndarray] = field(repr=False)
+
+
+class MarsitSynchronizer:
+    """Drives Algorithm 1 over ring (RAR) or 2D-torus (TAR) clusters.
+
+    The synchronizer owns the compensation state and one RNG per worker (the
+    transient vector is drawn by the *receiving* worker, so randomness is
+    local — no shared seed is needed for consensus because the merged bits
+    themselves travel the ring).
+    """
+
+    def __init__(
+        self,
+        config: MarsitConfig,
+        num_workers: int,
+        dimension: int,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if dimension < 1:
+            raise ValueError("dimension must be >= 1")
+        self.config = config
+        self.num_workers = num_workers
+        self.dimension = dimension
+        self.state = MarsitState.zeros(num_workers, dimension)
+        seeds = np.random.SeedSequence(config.seed).spawn(num_workers)
+        self.rngs = [np.random.default_rng(seed) for seed in seeds]
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def synchronize(
+        self,
+        cluster: Cluster,
+        updates: list[np.ndarray],
+        round_idx: int,
+    ) -> SyncReport:
+        """Run Algorithm 1 for one round.
+
+        Args:
+            cluster: ring or torus cluster with ``num_workers`` workers.
+            updates: per-worker ``g_t^(m)`` (local LR already applied).
+            round_idx: the synchronization index ``t``.
+
+        Returns:
+            A :class:`SyncReport` whose ``global_updates[m]`` is the vector
+            worker ``m`` subtracts from its model.  On one-bit rounds all
+            entries are identical (consensus); on full-precision rounds they
+            are identical up to FP32 wire rounding.
+        """
+        if cluster.num_workers != self.num_workers:
+            raise ValueError("cluster size does not match synchronizer")
+        if len(updates) != self.num_workers:
+            raise ValueError("one update vector per worker required")
+        compensated = [
+            np.asarray(update, dtype=np.float64) + self.state.compensation[m]
+            for m, update in enumerate(updates)
+        ]
+        for vector in compensated:
+            if vector.shape != (self.dimension,):
+                raise ValueError(
+                    f"update dimension {vector.shape} != ({self.dimension},)"
+                )
+
+        if self.config.is_full_precision_round(round_idx):
+            global_updates = self._full_precision_sync(cluster, compensated)
+            self.state.compensation = [
+                np.zeros(self.dimension) for _ in range(self.num_workers)
+            ]
+            return SyncReport(
+                round_idx=round_idx,
+                full_precision=True,
+                bits_per_element=32.0,
+                global_updates=global_updates,
+            )
+
+        consensus_signs = self._one_bit_sync(cluster, compensated)
+        eta_s = self.config.effective_global_lr(round_idx)
+        global_update = eta_s * consensus_signs
+        if self.config.use_compensation:
+            self.state.compensation = [
+                compensated[m] - global_update for m in range(self.num_workers)
+            ]
+        else:
+            self.state.compensation = [
+                np.zeros(self.dimension) for _ in range(self.num_workers)
+            ]
+        return SyncReport(
+            round_idx=round_idx,
+            full_precision=False,
+            bits_per_element=1.0,
+            global_updates=[global_update.copy() for _ in range(self.num_workers)],
+        )
+
+    # ------------------------------------------------------------------
+    # one-bit path
+    # ------------------------------------------------------------------
+    def _one_bit_sync(
+        self, cluster: Cluster, vectors: list[np.ndarray]
+    ) -> np.ndarray:
+        """Multi-hop sign aggregation; returns the consensus ``{-1,+1}``."""
+        if self.num_workers == 1:
+            bits = (vectors[0] >= 0).astype(np.uint8)
+            return bits.astype(np.float64) * 2.0 - 1.0
+        if cluster.topology.name == "ring":
+            if self.config.segment_elems is not None:
+                final_bits = self._one_bit_segmented_ring(cluster, vectors)
+            else:
+                final_bits = self._one_bit_ring(cluster, vectors)
+        elif cluster.topology.name == "torus":
+            final_bits = self._one_bit_torus(cluster, vectors)
+        elif cluster.topology.name == "tree":
+            final_bits = self._one_bit_tree(cluster, vectors)
+        else:
+            raise ValueError(
+                f"Marsit one-bit sync supports ring/torus/tree topologies, "
+                f"got {cluster.topology.name!r}"
+            )
+        return final_bits.astype(np.float64) * 2.0 - 1.0
+
+    def _sign_bits(self, vector: np.ndarray) -> np.ndarray:
+        """``sgn`` with the +1-at-zero convention, as 0/1 bits."""
+        return (vector >= 0).astype(np.uint8)
+
+    def _reduce_cycles(
+        self,
+        cluster: Cluster,
+        cycles: Sequence[Sequence[int]],
+        bit_segments: Sequence[list[list[np.ndarray]]],
+        base_weight: int,
+        tag: str,
+    ) -> None:
+        """One-bit reduce-scatter over disjoint ring cycles in lockstep.
+
+        ``bit_segments[c][p][i]`` are 0/1 arrays; each position's vector
+        already aggregates ``base_weight`` workers (1 on RAR; a full row on
+        TAR's column phase).  All cycles advance together, so transfers on
+        different rows/columns of a torus overlap.  Mutates in place;
+        ownership ends at the standard reduce layout (``(p + 1) % size``).
+        """
+        if not cycles:
+            return
+        size = len(cycles[0])
+        model = cluster.cost_model
+        segment_elems = max(
+            (seg.size for seg in bit_segments[0][0]), default=0
+        )
+        # The first outgoing segment's signs must exist before step 0.
+        cluster.charge(Phase.COMPRESSION, model.compress_time(segment_elems))
+        for step in range(size - 1):
+            cluster.begin_step()
+            for cycle_idx, ranks in enumerate(cycles):
+                for pos in range(size):
+                    send_idx = (pos - step) % size
+                    cluster.send(
+                        ranks[pos],
+                        ranks[(pos + 1) % size],
+                        BitVector.from_bits(bit_segments[cycle_idx][pos][send_idx]),
+                        tag=f"{tag}:{step}",
+                    )
+            for cycle_idx, ranks in enumerate(cycles):
+                for pos in range(size):
+                    recv_idx = (pos - 1 - step) % size
+                    payload: BitVector = cluster.recv(
+                        ranks[pos], ranks[(pos - 1) % size], tag=f"{tag}:{step}"
+                    )
+                    received = payload.to_bits()
+                    local = bit_segments[cycle_idx][pos][recv_idx]
+                    transient = transient_vector(
+                        local,
+                        received_weight=(step + 1) * base_weight,
+                        local_weight=base_weight,
+                        rng=self.rngs[ranks[pos]],
+                    )
+                    bit_segments[cycle_idx][pos][recv_idx] = merge_sign_bits(
+                        received, local, transient
+                    )
+            transfer = cluster.end_step()
+            # Sign extraction + transient draw for the next hop overlap the
+            # transfer (Section 4.1.1); only the excess is critical path.
+            overlapped = model.compress_time(segment_elems) + model.rng_time(
+                segment_elems
+            )
+            cluster.charge(
+                Phase.COMPRESSION, max(0.0, overlapped - transfer)
+            )
+            # The merge itself needs the received bits: charged in full.
+            cluster.charge(Phase.COMPRESSION, model.bitop_time(segment_elems))
+
+    def _gather_cycles(
+        self,
+        cluster: Cluster,
+        cycles: Sequence[Sequence[int]],
+        bit_segments: Sequence[list[list[np.ndarray]]],
+        tag: str,
+    ) -> None:
+        """All-gather of owned bit segments over cycles in lockstep."""
+        if not cycles:
+            return
+        size = len(cycles[0])
+        for step in range(size - 1):
+            cluster.begin_step()
+            for cycle_idx, ranks in enumerate(cycles):
+                for pos in range(size):
+                    send_idx = (pos + 1 - step) % size
+                    cluster.send(
+                        ranks[pos],
+                        ranks[(pos + 1) % size],
+                        BitVector.from_bits(bit_segments[cycle_idx][pos][send_idx]),
+                        tag=f"{tag}:{step}",
+                    )
+            for cycle_idx, ranks in enumerate(cycles):
+                for pos in range(size):
+                    recv_idx = (pos - step) % size
+                    payload: BitVector = cluster.recv(
+                        ranks[pos], ranks[(pos - 1) % size], tag=f"{tag}:{step}"
+                    )
+                    bit_segments[cycle_idx][pos][recv_idx] = payload.to_bits()
+            cluster.end_step()
+
+    def _one_bit_ring(
+        self, cluster: Cluster, vectors: list[np.ndarray]
+    ) -> np.ndarray:
+        """RAR one-bit sync (Figure 2's R and G periods)."""
+        size = self.num_workers
+        ranks = list(range(size))
+        bit_segments = [
+            [self._sign_bits(seg) for seg in split_segments(vec, size)]
+            for vec in vectors
+        ]
+        self._reduce_cycles(
+            cluster, [ranks], [bit_segments], base_weight=1, tag="m-rs"
+        )
+        self._gather_cycles(cluster, [ranks], [bit_segments], tag="m-ag")
+        final = np.concatenate(bit_segments[0])
+        for pos in range(1, size):
+            other = np.concatenate(bit_segments[pos])
+            if not np.array_equal(final, other):
+                raise AssertionError("consensus violated after gather phase")
+        return final
+
+    def _one_bit_torus(
+        self, cluster: Cluster, vectors: list[np.ndarray]
+    ) -> np.ndarray:
+        """TAR one-bit sync: row reduce, column all-reduce, then gathers.
+
+        The column phase merges vectors that each already represent a whole
+        row of ``cols`` workers, so its transient weights scale by ``cols``
+        — the weighted generalization of Eq. (2).  All rows (and then all
+        columns) advance in lockstep, matching TAR's latency profile.
+        """
+        rows, cols = torus_rows_cols(cluster)
+        row_rank_lists = [
+            [r * cols + c for c in range(cols)] for r in range(rows)
+        ]
+        col_rank_lists = [
+            [r * cols + c for r in range(rows)] for c in range(cols)
+        ]
+
+        # Row phase: reduce-scatter sign bits within every row, in lockstep.
+        row_segments: dict[int, list[np.ndarray]] = {}
+        owned_idx: dict[int, int] = {}
+        if cols > 1:
+            all_segments = [
+                [
+                    [
+                        self._sign_bits(seg)
+                        for seg in split_segments(vectors[rank], cols)
+                    ]
+                    for rank in ranks
+                ]
+                for ranks in row_rank_lists
+            ]
+            self._reduce_cycles(
+                cluster, row_rank_lists, all_segments, base_weight=1, tag="m-row-rs"
+            )
+            for cycle_idx, ranks in enumerate(row_rank_lists):
+                for pos, rank in enumerate(ranks):
+                    row_segments[rank] = all_segments[cycle_idx][pos]
+                    owned_idx[rank] = (pos + 1) % cols
+        else:
+            for rank in range(self.num_workers):
+                row_segments[rank] = [self._sign_bits(vectors[rank])]
+                owned_idx[rank] = 0
+
+        # Column phase: one-bit all-reduce of every owned chunk, in lockstep.
+        if rows > 1:
+            chunk_segments = [
+                [
+                    [
+                        seg.copy()
+                        for seg in np.array_split(
+                            row_segments[rank][owned_idx[rank]], rows
+                        )
+                    ]
+                    for rank in ranks
+                ]
+                for ranks in col_rank_lists
+            ]
+            self._reduce_cycles(
+                cluster,
+                col_rank_lists,
+                chunk_segments,
+                base_weight=cols,
+                tag="m-col-rs",
+            )
+            self._gather_cycles(cluster, col_rank_lists, chunk_segments, tag="m-col-ag")
+            for cycle_idx, ranks in enumerate(col_rank_lists):
+                for pos, rank in enumerate(ranks):
+                    row_segments[rank][owned_idx[rank]] = np.concatenate(
+                        chunk_segments[cycle_idx][pos]
+                    )
+
+        # Row gather: circulate the now fully reduced owned segments.
+        if cols > 1:
+            all_segments = [
+                [row_segments[rank] for rank in ranks] for ranks in row_rank_lists
+            ]
+            self._gather_cycles(cluster, row_rank_lists, all_segments, tag="m-row-ag")
+
+        final = np.concatenate(row_segments[0])
+        for rank in range(1, self.num_workers):
+            other = np.concatenate(row_segments[rank])
+            if not np.array_equal(final, other):
+                raise AssertionError("consensus violated after torus gather")
+        return final
+
+    def _one_bit_segmented_ring(
+        self, cluster: Cluster, vectors: list[np.ndarray]
+    ) -> np.ndarray:
+        """Segmented-ring variant: independent one-bit ring passes per chunk.
+
+        Each fixed-size chunk of the vector runs its own reduce+gather, so a
+        real implementation could pipeline chunks; traffic volume matches
+        the plain ring.
+        """
+        segment_elems = self.config.segment_elems
+        size = self.num_workers
+        ranks = list(range(size))
+        dimension = vectors[0].size
+        pieces: list[np.ndarray] = []
+        for start in range(0, dimension, segment_elems):
+            stop = min(start + segment_elems, dimension)
+            chunk_segments = [
+                [
+                    self._sign_bits(seg)
+                    for seg in split_segments(vec[start:stop], size)
+                ]
+                for vec in vectors
+            ]
+            self._reduce_cycles(
+                cluster, [ranks], [chunk_segments], base_weight=1,
+                tag=f"m-seg{start}-rs",
+            )
+            self._gather_cycles(
+                cluster, [ranks], [chunk_segments], tag=f"m-seg{start}-ag"
+            )
+            pieces.append(np.concatenate(chunk_segments[0]))
+            for pos in range(1, size):
+                if not np.array_equal(
+                    pieces[-1], np.concatenate(chunk_segments[pos])
+                ):
+                    raise AssertionError("segmented-ring consensus violated")
+        return np.concatenate(pieces)
+
+    def _one_bit_tree(
+        self, cluster: Cluster, vectors: list[np.ndarray]
+    ) -> np.ndarray:
+        """Tree variant: weighted ``⊙`` merges up the tree, broadcast down.
+
+        A parent folds each child's bit vector (representing that child's
+        whole subtree) into its own accumulated bits with transient weights
+        (subtree size vs accumulated size) — the same weighted merge the
+        torus column phase uses — so the root's bits remain an unbiased
+        sample of the global mean sign.
+        """
+        meta = cluster.topology.meta
+        arity, root = meta["arity"], meta["root"]
+        num = self.num_workers
+        depth_of = [0] * num
+        for rank in range(1, num):
+            depth_of[rank] = depth_of[(rank - 1) // arity] + 1
+        max_depth = max(depth_of)
+        levels: list[list[int]] = [[] for _ in range(max_depth + 1)]
+        for rank, depth in enumerate(depth_of):
+            levels[depth].append(rank)
+
+        model = cluster.cost_model
+        bits = [self._sign_bits(vec) for vec in vectors]
+        weight = [1] * num
+        dimension = vectors[0].size
+        cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
+
+        # Reduce: deepest level first; each level is one synchronous step.
+        for level in reversed(levels[1:]):
+            cluster.begin_step()
+            for rank in level:
+                cluster.send(
+                    rank, (rank - 1) // arity, BitVector.from_bits(bits[rank]),
+                    tag="m-tree-up",
+                )
+            for rank in level:
+                parent = (rank - 1) // arity
+                payload: BitVector = cluster.recv(parent, rank, tag="m-tree-up")
+                received = payload.to_bits()
+                transient = transient_vector(
+                    bits[parent],
+                    received_weight=weight[rank],
+                    local_weight=weight[parent],
+                    rng=self.rngs[parent],
+                )
+                # Merge child (received) into parent (local).
+                bits[parent] = merge_sign_bits(received, bits[parent], transient)
+                weight[parent] += weight[rank]
+            transfer = cluster.end_step()
+            overlapped = model.rng_time(dimension)
+            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
+            cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
+        if weight[root] != num:
+            raise AssertionError("tree reduce missed workers")
+
+        # Broadcast: shallowest level first.
+        for level in levels[1:]:
+            cluster.begin_step()
+            for rank in level:
+                parent = (rank - 1) // arity
+                cluster.send(
+                    parent, rank, BitVector.from_bits(bits[parent]),
+                    tag="m-tree-down",
+                )
+            for rank in level:
+                payload = cluster.recv(
+                    rank, (rank - 1) // arity, tag="m-tree-down"
+                )
+                bits[rank] = payload.to_bits()
+            cluster.end_step()
+        for rank in range(1, num):
+            if not np.array_equal(bits[rank], bits[0]):
+                raise AssertionError("tree consensus violated")
+        return bits[0]
+
+    # ------------------------------------------------------------------
+    # full-precision path
+    # ------------------------------------------------------------------
+    def _full_precision_sync(
+        self, cluster: Cluster, vectors: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Lines 12-13: FP32 all-reduce mean of the compensated updates."""
+        if self.num_workers == 1:
+            return [vectors[0].copy()]
+        if cluster.topology.name == "torus":
+            return torus_allreduce_mean(cluster, vectors)
+        if cluster.topology.name == "tree":
+            from repro.allreduce.tree import tree_allreduce
+
+            wire = [np.asarray(v, dtype=np.float32) for v in vectors]
+            return tree_allreduce(
+                cluster, wire, finalize=lambda x: x / self.num_workers
+            )
+        return ring_allreduce_mean(cluster, vectors)

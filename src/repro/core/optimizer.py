@@ -1,0 +1,115 @@
+"""Marsit-driven optimizers (paper Algorithm 2 and Section 5).
+
+Algorithm 2 wires Marsit into SGD: the local stochastic gradient is scaled by
+``eta_l`` and handed to Algorithm 1, whose output ``g_t`` is subtracted from
+the (replicated) global model.  The experiments additionally use Momentum for
+image classification and Adam for sentiment analysis; those variants apply
+the base optimizer's gradient transform *locally, before* synchronization —
+the same structure as 1-bit Adam — so the wire still carries one bit.
+
+These classes return per-worker update vectors; applying them to model
+parameters is the trainer's job (:mod:`repro.train`), keeping the optimizer
+reusable for raw-vector experiments (quadratic objectives in the theory
+benches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.cluster import Cluster
+from repro.core.marsit import MarsitConfig, MarsitSynchronizer, SyncReport
+
+__all__ = ["MarsitAdam", "MarsitMomentum", "MarsitSGD"]
+
+
+class MarsitSGD:
+    """Algorithm 2: plain SGD through Marsit synchronization."""
+
+    def __init__(
+        self,
+        config: MarsitConfig,
+        local_lr: float,
+        num_workers: int,
+        dimension: int,
+    ) -> None:
+        if local_lr <= 0:
+            raise ValueError("local_lr must be positive")
+        self.local_lr = local_lr
+        self.synchronizer = MarsitSynchronizer(config, num_workers, dimension)
+        self.num_workers = num_workers
+        self.dimension = dimension
+
+    def transform(self, rank: int, grad: np.ndarray) -> np.ndarray:
+        """Local gradient transform; plain SGD just scales by ``eta_l``."""
+        return self.local_lr * np.asarray(grad, dtype=np.float64)
+
+    def step(
+        self,
+        cluster: Cluster,
+        grads: list[np.ndarray],
+        round_idx: int,
+    ) -> SyncReport:
+        """One synchronization round; ``global_updates`` are to be subtracted."""
+        if len(grads) != self.num_workers:
+            raise ValueError("one gradient per worker required")
+        updates = [self.transform(rank, grad) for rank, grad in enumerate(grads)]
+        return self.synchronizer.synchronize(cluster, updates, round_idx)
+
+
+class MarsitMomentum(MarsitSGD):
+    """Heavy-ball momentum applied locally before one-bit synchronization."""
+
+    def __init__(
+        self,
+        config: MarsitConfig,
+        local_lr: float,
+        num_workers: int,
+        dimension: int,
+        momentum: float = 0.9,
+    ) -> None:
+        super().__init__(config, local_lr, num_workers, dimension)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._buffers = [np.zeros(dimension) for _ in range(num_workers)]
+
+    def transform(self, rank: int, grad: np.ndarray) -> np.ndarray:
+        buffer = self._buffers[rank]
+        buffer *= self.momentum
+        buffer += np.asarray(grad, dtype=np.float64)
+        return self.local_lr * buffer
+
+
+class MarsitAdam(MarsitSGD):
+    """Adam preconditioning applied locally (1-bit-Adam-style) before sync."""
+
+    def __init__(
+        self,
+        config: MarsitConfig,
+        local_lr: float,
+        num_workers: int,
+        dimension: int,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(config, local_lr, num_workers, dimension)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros(dimension) for _ in range(num_workers)]
+        self._v = [np.zeros(dimension) for _ in range(num_workers)]
+        self._step_count = [0] * num_workers
+
+    def transform(self, rank: int, grad: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad, dtype=np.float64)
+        self._step_count[rank] += 1
+        t = self._step_count[rank]
+        self._m[rank] = self.beta1 * self._m[rank] + (1 - self.beta1) * grad
+        self._v[rank] = self.beta2 * self._v[rank] + (1 - self.beta2) * grad**2
+        m_hat = self._m[rank] / (1 - self.beta1**t)
+        v_hat = self._v[rank] / (1 - self.beta2**t)
+        return self.local_lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,110 @@
+"""The Marsit bit-wise merge operator (paper Eq. 2 and Section 4.1.1).
+
+Sign vectors are bit vectors with the convention ``1 == +1``, ``0 == -1``.
+When a worker that has already folded in ``a`` workers' signs (the received
+vector ``v``) meets a local vector ``v*`` representing ``b`` workers, the
+merged bit is
+
+    ``v ⊙ v* = (v AND v*) OR ((v XOR v*) AND r)``
+
+with the transient vector ``r`` drawn *before* ``v`` arrives (it depends only
+on ``v*``), which is what lets compression overlap reception:
+
+    ``P(r_j = 1) = b / (a + b)``  where ``v*_j = 1``
+    ``P(r_j = 1) = a / (a + b)``  where ``v*_j = 0``
+
+Eq. (2) is the special case ``a = m - 1, b = 1``.  Induction over hops gives
+the exact invariant tested in this package:
+
+    ``P(merged_j = 1) = (a p_j + b q_j) / (a + b)``
+
+where ``p_j``/``q_j`` are the +1 fractions represented by ``v``/``v*`` —
+i.e. the final bit is an unbiased one-bit sample of the *mean sign* across
+all contributing workers, with no decompression anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "expected_merge_probability",
+    "merge_sign_bits",
+    "transient_vector",
+]
+
+
+def _validate_bits(bits: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(bits)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D")
+    if array.size and not np.isin(array, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 values")
+    return array.astype(np.uint8)
+
+
+def transient_vector(
+    local_bits: np.ndarray,
+    received_weight: int,
+    local_weight: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw the transient vector ``r`` of Eq. (2), generalized to weights.
+
+    Args:
+        local_bits: the local sign bits ``v*`` (0/1).
+        received_weight: ``a`` — workers already folded into the incoming
+            vector.  Eq. (2) uses ``a = m - 1``.
+        local_weight: ``b`` — workers represented by ``local_bits``
+            (1 in RAR's reduce phase; a whole row's worth in TAR's column
+            phase).
+        rng: source of randomness; the draw happens *before* reception.
+
+    Returns:
+        A 0/1 ``uint8`` vector: where ``v*_j = 1``, ``P(r_j = 1) = b/(a+b)``;
+        where ``v*_j = 0``, ``P(r_j = 1) = a/(a+b)``.
+    """
+    local = _validate_bits(local_bits, "local_bits")
+    if received_weight < 1 or local_weight < 1:
+        raise ValueError("weights must be >= 1")
+    total = received_weight + local_weight
+    keep_local = local_weight / total
+    uniforms = rng.random(local.size)
+    probs = np.where(local == 1, keep_local, 1.0 - keep_local)
+    return (uniforms < probs).astype(np.uint8)
+
+
+def merge_sign_bits(
+    received_bits: np.ndarray,
+    local_bits: np.ndarray,
+    transient: np.ndarray,
+) -> np.ndarray:
+    """Apply ``v ⊙ v* = (v AND v*) OR ((v XOR v*) AND r)`` bit-wise.
+
+    Pure bit logic — no decompression, no floats; agreement keeps the common
+    bit, disagreement resolves to the pre-drawn transient bit.
+    """
+    received = _validate_bits(received_bits, "received_bits")
+    local = _validate_bits(local_bits, "local_bits")
+    trans = _validate_bits(transient, "transient")
+    if not received.size == local.size == trans.size:
+        raise ValueError("all bit vectors must share one length")
+    return (received & local) | ((received ^ local) & trans)
+
+
+def expected_merge_probability(
+    received_prob: np.ndarray | float,
+    local_prob: np.ndarray | float,
+    received_weight: int,
+    local_weight: int,
+) -> np.ndarray:
+    """The invariant the merge preserves: the weighted mean +1 probability.
+
+    Used by tests and the theory module to check unbiasedness:
+    ``E[merged] = (a p + b q) / (a + b)``.
+    """
+    total = received_weight + local_weight
+    return (
+        received_weight * np.asarray(received_prob, dtype=np.float64)
+        + local_weight * np.asarray(local_prob, dtype=np.float64)
+    ) / total

@@ -1,0 +1,43 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+The paper trains on MNIST, CIFAR-10, ImageNet and IMDb reviews.  Those are
+natural datasets we substitute with procedurally generated equivalents whose
+*gradient statistics* (dimension, class structure, noise level) exercise the
+same synchronization code paths:
+
+- :func:`mnist_like`, :func:`cifar10_like`, :func:`imagenet_like` — image
+  classification from Gaussian class prototypes plus structured noise.
+- :func:`imdb_like` — binary sentiment over token sequences with
+  sentiment-bearing vocabulary and label noise.
+- :func:`shard_iid` / :class:`WorkerBatchIterator` — the iid shuffled-cloud
+  sharding the paper assumes ("data on the cloud can be shuffled and formed
+  an identical distribution among workers", Section 1).
+"""
+
+from repro.data.sharding import (
+    WorkerBatchIterator,
+    shard_dirichlet,
+    shard_iid,
+    train_test_split,
+)
+from repro.data.synthetic import (
+    ArrayDataset,
+    cifar10_like,
+    imagenet_like,
+    make_image_dataset,
+    mnist_like,
+)
+from repro.data.text import imdb_like
+
+__all__ = [
+    "ArrayDataset",
+    "WorkerBatchIterator",
+    "cifar10_like",
+    "imagenet_like",
+    "imdb_like",
+    "make_image_dataset",
+    "mnist_like",
+    "shard_dirichlet",
+    "shard_iid",
+    "train_test_split",
+]

@@ -1,0 +1,63 @@
+"""A from-scratch numpy neural-network framework.
+
+The paper trains AlexNet / ResNet / DistilBERT in PyTorch; this package is
+the substitution: explicit forward/backward layers (no autograd) sufficient
+to train scaled-down versions of all five paper workloads.  The distributed
+layer only ever sees flattened gradients (:meth:`Module.flatten_grads`), so
+any synchronization scheme composes with any model.
+
+Sub-modules:
+
+- :mod:`repro.nn.module` — ``Parameter`` / ``Module`` base machinery.
+- :mod:`repro.nn.layers` — Linear, Conv2d, pooling, norms, activations.
+- :mod:`repro.nn.attention` — multi-head self-attention + encoder block.
+- :mod:`repro.nn.losses` — cross-entropy and MSE.
+- :mod:`repro.nn.zoo` — the model zoo used by the experiments.
+"""
+
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoderBlock
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "TransformerEncoderBlock",
+]

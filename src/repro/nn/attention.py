@@ -1,0 +1,120 @@
+"""Multi-head self-attention and the transformer encoder block.
+
+These are the DistilBERT building blocks; the backward passes are derived by
+hand (softmax Jacobian contracted against the value-weighted gradient).
+Input/output tensors are (N, T, dim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, GELU, LayerNorm, Linear, _Cache
+from repro.nn.losses import softmax
+from repro.nn.module import Module
+
+__all__ = ["MultiHeadSelfAttention", "TransformerEncoderBlock"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product attention with ``num_heads`` heads."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.w_q = Linear(dim, dim, rng=rng)
+        self.w_k = Linear(dim, dim, rng=rng)
+        self.w_v = Linear(dim, dim, rng=rng)
+        self.w_o = Linear(dim, dim, rng=rng)
+        self._cache = _Cache()
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        n, t, _ = x.shape
+        return x.reshape(n, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        n, _, t, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(n, t, self.dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        q = self._split_heads(self.w_q(x))  # (N, H, T, hd)
+        k = self._split_heads(self.w_k(x))
+        v = self._split_heads(self.w_v(x))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (N, H, T, T)
+        attn = softmax(scores)
+        context = attn @ v  # (N, H, T, hd)
+        out = self.w_o(self._merge_heads(context))
+        self._cache.put(q=q, k=k, v=v, attn=attn, scale=scale)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cached = self._cache.take()
+        q, k, v = cached["q"], cached["k"], cached["v"]
+        attn, scale = cached["attn"], cached["scale"]
+
+        d_context_merged = self.w_o.backward(grad)
+        d_context = self._split_heads(d_context_merged)
+
+        d_attn = d_context @ v.transpose(0, 1, 3, 2)  # (N, H, T, T)
+        d_v = attn.transpose(0, 1, 3, 2) @ d_context
+
+        # softmax backward per row: dS = A * (dA - sum(dA * A, axis=-1))
+        inner = (d_attn * attn).sum(axis=-1, keepdims=True)
+        d_scores = attn * (d_attn - inner)
+
+        d_q = (d_scores @ k) * scale
+        d_k = (d_scores.transpose(0, 1, 3, 2) @ q) * scale
+
+        dx = self.w_q.backward(self._merge_heads(d_q))
+        dx = dx + self.w_k.backward(self._merge_heads(d_k))
+        dx = dx + self.w_v.backward(self._merge_heads(d_v))
+        return dx
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-LN encoder block: LN -> MHSA -> residual, LN -> FFN -> residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng=rng)
+        self.ln2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.gelu = GELU()
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+        self.drop1 = Dropout(dropout, seed=seed)
+        self.drop2 = Dropout(dropout, seed=seed + 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.drop1(self.attn(self.ln1(x)))
+        x = x + self.drop2(self.ffn_out(self.gelu(self.ffn_in(self.ln2(x)))))
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        d_branch = self.ffn_in.backward(
+            self.gelu.backward(self.ffn_out.backward(self.drop2.backward(grad)))
+        )
+        grad = grad + self.ln2.backward(d_branch)
+        d_branch = self.attn.backward(self.drop1.backward(grad))
+        grad = grad + self.ln1.backward(d_branch)
+        return grad

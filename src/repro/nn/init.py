@@ -1,0 +1,26 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform"]
+
+
+def kaiming_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """He-uniform init: U(-sqrt(6/fan_in), +sqrt(6/fan_in)); ReLU-friendly."""
+    if fan_in < 1:
+        raise ValueError("fan_in must be >= 1")
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot-uniform init over the first two axes' fans."""
+    if len(shape) < 2:
+        raise ValueError("xavier_uniform needs at least a 2-D shape")
+    fan_in, fan_out = shape[1], shape[0]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,496 @@
+"""Core layers with explicit forward/backward passes.
+
+Convolutions use im2col so the heavy lifting is a single GEMM per pass, which
+is what keeps the scaled-down paper models trainable in pure numpy.  Each
+layer caches exactly what its backward needs and invalidates the cache after
+use, so calling ``backward`` twice without a fresh forward raises instead of
+silently reusing stale activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import kaiming_uniform, xavier_uniform
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+]
+
+
+class _Cache:
+    """Single-use forward cache; raises on double-backward."""
+
+    def __init__(self) -> None:
+        self._store: dict | None = None
+
+    def put(self, **items: object) -> None:
+        self._store = items
+
+    def take(self) -> dict:
+        if self._store is None:
+            raise RuntimeError("backward called without a preceding forward")
+        store, self._store = self._store, None
+        return store
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_uniform(rng, (out_features, in_features), fan_in=in_features)
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features))
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache.put(x=x)
+        out = x @ self.weight.data.T
+        if self.use_bias:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._cache.take()["x"]
+        flat_x = x.reshape(-1, self.in_features)
+        flat_g = grad.reshape(-1, self.out_features)
+        self.weight.grad += flat_g.T @ flat_x
+        if self.use_bias:
+            self.bias.grad += flat_g.sum(axis=0)
+        return (flat_g @ self.weight.data).reshape(x.shape)
+
+
+def _im2col_indices(
+    height: int, width: int, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Row/col gather indices for im2col on a padded image."""
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    i0 = np.repeat(np.arange(kernel), kernel)
+    j0 = np.tile(np.arange(kernel), kernel)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    return rows, cols, out_h, out_w
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW) via im2col + GEMM."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_uniform(
+                rng,
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+            )
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels))
+        self._cache = _Cache()
+
+    def _im2col(self, x: np.ndarray) -> tuple[np.ndarray, tuple]:
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        rows, cols, out_h, out_w = _im2col_indices(h, w, k, s, p)
+        # (N, C, k*k, out_h*out_w)
+        patches = padded[:, :, rows, cols]
+        # -> (C * k * k, N * out_h * out_w)
+        col = patches.transpose(1, 2, 0, 3).reshape(c * k * k, -1)
+        return col, (x.shape, padded.shape, rows, cols, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        col, geometry = self._im2col(x)
+        n = x.shape[0]
+        _, _, _, _, out_h, out_w = geometry
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = w_mat @ col  # (out_c, N*out_h*out_w)
+        out = out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+        if self.use_bias:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+        self._cache.put(col=col, geometry=geometry)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cached = self._cache.take()
+        col, geometry = cached["col"], cached["geometry"]
+        x_shape, padded_shape, rows, cols, out_h, out_w = geometry
+        n, c, h, w = x_shape
+        k, p = self.kernel_size, self.padding
+        grad_mat = grad.transpose(1, 0, 2, 3).reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat @ col.T).reshape(self.weight.shape)
+        if self.use_bias:
+            self.bias.grad += grad.sum(axis=(0, 2, 3))
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        dcol = w_mat.T @ grad_mat  # (C*k*k, N*out_h*out_w)
+        patches = dcol.reshape(c, k * k, n, out_h * out_w).transpose(2, 0, 1, 3)
+        dpadded = np.zeros(padded_shape)
+        np.add.at(dpadded, (slice(None), slice(None), rows, cols), patches)
+        if p:
+            return dpadded[:, :, p:-p, p:-p]
+        return dpadded
+
+    def flops_per_example(self, height: int, width: int) -> float:
+        """MACs x2 for one image; used by the timing model."""
+        _, _, out_h, out_w = (
+            0,
+            0,
+            (height + 2 * self.padding - self.kernel_size) // self.stride + 1,
+            (width + 2 * self.padding - self.kernel_size) // self.stride + 1,
+        )
+        macs = (
+            self.out_channels
+            * out_h
+            * out_w
+            * self.in_channels
+            * self.kernel_size**2
+        )
+        return 2.0 * macs
+
+
+class MaxPool2d(Module):
+    """Non-overlapping-friendly max pooling (kernel == stride typical)."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        rows, cols, _, _ = _im2col_indices(h, w, k, s, padding=0)
+        patches = x[:, :, rows, cols]  # (N, C, k*k, out_h*out_w)
+        argmax = patches.argmax(axis=2)
+        out = np.take_along_axis(patches, argmax[:, :, None, :], axis=2)
+        out = out.squeeze(2).reshape(n, c, out_h, out_w)
+        self._cache.put(
+            argmax=argmax, rows=rows, cols=cols, x_shape=x.shape,
+            out_h=out_h, out_w=out_w,
+        )
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cached = self._cache.take()
+        argmax, rows, cols = cached["argmax"], cached["rows"], cached["cols"]
+        n, c, h, w = cached["x_shape"]
+        out_h, out_w = cached["out_h"], cached["out_w"]
+        grad_flat = grad.reshape(n, c, out_h * out_w)
+        dpatches = np.zeros((n, c, rows.shape[0], out_h * out_w))
+        np.put_along_axis(
+            dpatches, argmax[:, :, None, :], grad_flat[:, :, None, :], axis=2
+        )
+        dx = np.zeros((n, c, h, w))
+        np.add.at(dx, (slice(None), slice(None), rows, cols), dpatches)
+        return dx
+
+
+class AvgPool2d(Module):
+    """Global average pooling over spatial dims: (N,C,H,W) -> (N,C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache.put(shape=x.shape)
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._cache.take()["shape"]
+        return np.broadcast_to(
+            grad.reshape(n, c, 1, 1) / (h * w), (n, c, h, w)
+        ).copy()
+
+
+class Flatten(Module):
+    """(N, ...) -> (N, prod(...))."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache.put(shape=x.shape)
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._cache.take()["shape"])
+
+
+class ReLU(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        self._cache.put(mask=mask)
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._cache.take()["mask"]
+
+
+class Tanh(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(x)
+        self._cache.put(out=out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = self._cache.take()["out"]
+        return grad * (1.0 - out**2)
+
+
+class GELU(Module):
+    """tanh-approximation GELU (the DistilBERT activation)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        inner = self._C * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        self._cache.put(x=x, tanh_inner=tanh_inner)
+        return 0.5 * x * (1.0 + tanh_inner)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cached = self._cache.take()
+        x, tanh_inner = cached["x"], cached["tanh_inner"]
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        return grad * (0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout p must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._cache.put(mask=None)
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        self._cache.put(mask=mask)
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        mask = self._cache.take()["mask"]
+        return grad if mask is None else grad * mask
+
+
+class _BatchNormBase(Module):
+    """Shared BN math; subclasses define the reduction axes."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = _Cache()
+
+    def _axes(self) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _shape(self, x: np.ndarray) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes()
+        shape = self._shape(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(shape)) * inv_std.reshape(shape)
+        self._cache.put(x_hat=x_hat, inv_std=inv_std, axes=axes, shape=shape)
+        return self.gamma.data.reshape(shape) * x_hat + self.beta.data.reshape(shape)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cached = self._cache.take()
+        x_hat, inv_std = cached["x_hat"], cached["inv_std"]
+        axes, shape = cached["axes"], cached["shape"]
+        count = grad.size // self.num_features
+        self.gamma.grad += (grad * x_hat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+        dx_hat = grad * self.gamma.data.reshape(shape)
+        if not self.training:
+            return dx_hat * inv_std.reshape(shape)
+        term = (
+            dx_hat
+            - dx_hat.mean(axis=axes).reshape(shape)
+            - x_hat * (dx_hat * x_hat).mean(axis=axes).reshape(shape)
+        )
+        del count
+        return term * inv_std.reshape(shape)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch norm over (N, H, W) per channel; input NCHW."""
+
+    def _axes(self) -> tuple[int, ...]:
+        return (0, 2, 3)
+
+    def _shape(self, x: np.ndarray) -> tuple[int, ...]:
+        return (1, self.num_features, 1, 1)
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch norm over N per feature; input (N, F)."""
+
+    def _axes(self) -> tuple[int, ...]:
+        return (0,)
+
+    def _shape(self, x: np.ndarray) -> tuple[int, ...]:
+        return (1, self.num_features)
+
+
+class LayerNorm(Module):
+    """Normalization over the last axis (transformer style)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self._cache = _Cache()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache.put(x_hat=x_hat, inv_std=inv_std)
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cached = self._cache.take()
+        x_hat, inv_std = cached["x_hat"], cached["inv_std"]
+        reduce_axes = tuple(range(grad.ndim - 1))
+        self.gamma.grad += (grad * x_hat).sum(axis=reduce_axes)
+        self.beta.grad += grad.sum(axis=reduce_axes)
+        dx_hat = grad * self.gamma.data
+        return (
+            dx_hat
+            - dx_hat.mean(axis=-1, keepdims=True)
+            - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+
+
+class Embedding(Module):
+    """Token embedding lookup: int indices (N, T) -> (N, T, dim)."""
+
+    def __init__(self, vocab_size: int, dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Parameter(xavier_uniform(rng, (vocab_size, dim)))
+        self._cache = _Cache()
+
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        if indices.min(initial=0) < 0 or indices.max(initial=0) >= self.vocab_size:
+            raise ValueError("token index out of vocabulary range")
+        self._cache.put(indices=indices)
+        return self.weight.data[indices]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        indices = self._cache.take()["indices"]
+        np.add.at(self.weight.grad, indices.reshape(-1), grad.reshape(-1, self.dim))
+        return np.zeros(indices.shape)  # no gradient flows into int tokens
+
+
+class Sequential(Module):
+    """Chain of layers; backward runs in reverse."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer_{index}", layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

@@ -1,0 +1,84 @@
+"""Loss functions.
+
+Losses are not Modules: ``forward(pred, target)`` returns a scalar and
+``backward()`` returns dL/d(pred), which is then fed to the model's
+``backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "log_softmax", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy with integer class targets, mean-reduced."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ValueError("logits must be (N, num_classes)")
+        if targets.shape != (logits.shape[0],):
+            raise ValueError("targets must be (N,) integer labels")
+        if targets.min(initial=0) < 0 or targets.max(initial=0) >= logits.shape[1]:
+            raise ValueError("target label out of range")
+        log_probs = log_softmax(logits)
+        self._probs = np.exp(log_probs)
+        self._targets = targets
+        picked = log_probs[np.arange(logits.shape[0]), targets]
+        return float(-picked.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        self._probs = None
+        self._targets = None
+        return grad / n
+
+    __call__ = forward
+
+
+class MSELoss:
+    """Mean squared error, mean-reduced over all elements."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if pred.shape != target.shape:
+            raise ValueError("pred and target shapes must match")
+        self._diff = pred - target
+        return float((self._diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        grad = 2.0 * self._diff / self._diff.size
+        self._diff = None
+        return grad
+
+    __call__ = forward

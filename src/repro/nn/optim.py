@@ -1,0 +1,103 @@
+"""Single-model optimizers for plain (non-distributed) training.
+
+The distributed strategies in :mod:`repro.train` own their optimizer state
+to keep workers fair; these classes are the ordinary single-process
+counterparts so the NN framework is usable on its own::
+
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    for x, y in batches:
+        model.zero_grad()
+        loss = loss_fn(model(x), y)
+        model.backward(loss_fn.backward())
+        optimizer.step()
+
+All support decoupled weight decay (AdamW-style for :class:`Adam`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD", "Adam", "Optimizer"]
+
+
+class Optimizer:
+    """Base: holds parameters and applies per-parameter updates."""
+
+    def __init__(self, parameters: list[Parameter], lr: float,
+                 weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for index, param in enumerate(self.parameters):
+            direction = self._direction(index, param)
+            if self.weight_decay:
+                param.data *= 1.0 - self.lr * self.weight_decay
+            param.data -= self.lr * direction
+
+    def _direction(self, index: int, param: Parameter) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """Plain or heavy-ball SGD with decoupled weight decay."""
+
+    def __init__(self, parameters: list[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._buffers = [np.zeros_like(p.data) for p in parameters]
+
+    def _direction(self, index: int, param: Parameter) -> np.ndarray:
+        if self.momentum:
+            buffer = self._buffers[index]
+            buffer *= self.momentum
+            buffer += param.grad
+            return buffer
+        return param.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and AdamW-style decoupled weight decay."""
+
+    def __init__(self, parameters: list[Parameter], lr: float,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.data) for p in parameters]
+        self._v = [np.zeros_like(p.data) for p in parameters]
+        self._t = 0
+        self._stepped_index: int | None = None
+
+    def step(self) -> None:
+        self._t += 1
+        super().step()
+
+    def _direction(self, index: int, param: Parameter) -> np.ndarray:
+        self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * param.grad
+        self._v[index] = (
+            self.beta2 * self._v[index] + (1 - self.beta2) * param.grad**2
+        )
+        m_hat = self._m[index] / (1 - self.beta1**self._t)
+        v_hat = self._v[index] / (1 - self.beta2**self._t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,29 @@
+"""Model zoo: scaled-down versions of the paper's five workloads.
+
+| Paper model | Zoo factory | Notes |
+|---|---|---|
+| AlexNet (MNIST/CIFAR-10) | :func:`alexnet_mini` | conv-pool stack + dropout FC head |
+| ResNet-20 (CIFAR-10)     | :func:`resnet20` | 3 stages x 3 basic blocks, widths 16/32/64 |
+| ResNet-18 (ImageNet)     | :func:`resnet18_mini` | 3 stages x 2 basic blocks |
+| ResNet-50 (ImageNet)     | :func:`resnet50_mini` | bottleneck blocks, 4x expansion |
+| DistilBERT (IMDb)        | :func:`distilbert_mini` | real MHSA encoder, GELU, pre-LN |
+
+All factories take a seed so every simulated worker can build an identical
+replica, and attach ``flops_per_example`` (forward+backward estimate) for the
+timing model.
+"""
+
+from repro.nn.zoo.alexnet import alexnet_mini
+from repro.nn.zoo.distilbert import DistilBertMini, distilbert_mini
+from repro.nn.zoo.mlp import mlp
+from repro.nn.zoo.resnet import resnet18_mini, resnet20, resnet50_mini
+
+__all__ = [
+    "DistilBertMini",
+    "alexnet_mini",
+    "distilbert_mini",
+    "mlp",
+    "resnet18_mini",
+    "resnet20",
+    "resnet50_mini",
+]

@@ -1,0 +1,65 @@
+"""AlexNet-mini: the conv-pool-FC stack standing in for AlexNet.
+
+Three conv/pool stages plus a dropout-regularized FC head — the same layer
+vocabulary as AlexNet (conv, max-pool, ReLU, dropout, linear) at a scale a
+numpy simulation trains in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+__all__ = ["alexnet_mini"]
+
+
+def alexnet_mini(
+    in_channels: int = 3,
+    image_size: int = 16,
+    num_classes: int = 10,
+    width: int = 16,
+    seed: int = 0,
+) -> Module:
+    """Build AlexNet-mini for ``image_size`` x ``image_size`` inputs.
+
+    ``image_size`` must be divisible by 8 (three 2x pools).
+    """
+    if image_size % 8 != 0:
+        raise ValueError("image_size must be divisible by 8")
+    rng = np.random.default_rng(seed)
+    final_spatial = image_size // 8
+    channels = (width, 2 * width, 3 * width)
+    model = Sequential(
+        Conv2d(in_channels, channels[0], kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(channels[0], channels[1], kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(channels[1], channels[2], kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Dropout(0.3, seed=seed),
+        Linear(channels[2] * final_spatial**2, 4 * width, rng=rng),
+        ReLU(),
+        Linear(4 * width, num_classes, rng=rng),
+    )
+    conv_macs = (
+        in_channels * channels[0] * 9 * image_size**2
+        + channels[0] * channels[1] * 9 * (image_size // 2) ** 2
+        + channels[1] * channels[2] * 9 * (image_size // 4) ** 2
+    )
+    fc_macs = channels[2] * final_spatial**2 * 4 * width + 4 * width * num_classes
+    model.flops_per_example = 6.0 * (conv_macs + fc_macs)
+    return model

@@ -1,0 +1,108 @@
+"""DistilBERT-mini: transformer encoder for the IMDb-like sentiment task.
+
+Token + learned positional embeddings, a stack of pre-LN encoder blocks with
+real multi-head self-attention, mean pooling over time, and a classification
+head — DistilBERT's shape at a numpy-trainable scale.  The experiments drive
+it with the Adam variant, like the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import TransformerEncoderBlock
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module, Parameter
+
+__all__ = ["DistilBertMini", "distilbert_mini"]
+
+
+class DistilBertMini(Module):
+    """Encoder-only classifier over integer token sequences (N, T)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        max_len: int,
+        dim: int,
+        num_heads: int,
+        num_layers: int,
+        ffn_dim: int,
+        num_classes: int,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.max_len = max_len
+        self.dim = dim
+        self.token_embedding = Embedding(vocab_size, dim, rng=rng)
+        self.position_embedding = Parameter(
+            0.02 * rng.standard_normal((max_len, dim))
+        )
+        self.blocks = [
+            TransformerEncoderBlock(dim, num_heads, ffn_dim, rng=rng, seed=seed + i)
+            for i in range(num_layers)
+        ]
+        for index, block in enumerate(self.blocks):
+            setattr(self, f"block_{index}", block)
+        self.final_ln = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng=rng)
+        self._seq_len: int | None = None
+        # ~2 matmul MACs per param per token + attention T^2 d term.
+        self.flops_per_example = 6.0 * (
+            num_layers * max_len * (4 * dim * dim + 2 * dim * ffn_dim)
+            + num_layers * max_len * max_len * dim
+        )
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be (N, T)")
+        seq_len = tokens.shape[1]
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} > max_len {self.max_len}")
+        self._seq_len = seq_len
+        x = self.token_embedding(tokens) + self.position_embedding.data[:seq_len]
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_ln(x)
+        pooled = x.mean(axis=1)  # (N, dim)
+        return self.head(pooled)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._seq_len is None:
+            raise RuntimeError("backward called before forward")
+        seq_len, self._seq_len = self._seq_len, None
+        d_pooled = self.head.backward(grad)  # (N, dim)
+        n = d_pooled.shape[0]
+        dx = np.broadcast_to(
+            d_pooled[:, None, :] / seq_len, (n, seq_len, self.dim)
+        ).copy()
+        dx = self.final_ln.backward(dx)
+        for block in reversed(self.blocks):
+            dx = block.backward(dx)
+        self.position_embedding.grad[:seq_len] += dx.sum(axis=0)
+        return self.token_embedding.backward(dx)
+
+
+def distilbert_mini(
+    vocab_size: int = 128,
+    max_len: int = 16,
+    dim: int = 32,
+    num_heads: int = 4,
+    num_layers: int = 2,
+    ffn_dim: int = 64,
+    num_classes: int = 2,
+    seed: int = 0,
+) -> DistilBertMini:
+    """Default configuration used by the IMDb-like experiments."""
+    return DistilBertMini(
+        vocab_size=vocab_size,
+        max_len=max_len,
+        dim=dim,
+        num_heads=num_heads,
+        num_layers=num_layers,
+        ffn_dim=ffn_dim,
+        num_classes=num_classes,
+        seed=seed,
+    )

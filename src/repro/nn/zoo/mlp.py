@@ -1,0 +1,35 @@
+"""Plain MLP — the fast workload for unit tests and Table 1's MNIST runs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Flatten, Linear, ReLU, Sequential
+from repro.nn.module import Module
+
+__all__ = ["mlp"]
+
+
+def mlp(
+    in_features: int,
+    hidden: tuple[int, ...] = (64,),
+    num_classes: int = 10,
+    seed: int = 0,
+) -> Module:
+    """Fully connected ReLU network; input may be any shape (flattened)."""
+    rng = np.random.default_rng(seed)
+    layers: list[Module] = [Flatten()]
+    prev = in_features
+    for width in hidden:
+        layers.append(Linear(prev, width, rng=rng))
+        layers.append(ReLU())
+        prev = width
+    layers.append(Linear(prev, num_classes, rng=rng))
+    model = Sequential(*layers)
+    flops = 0
+    prev = in_features
+    for width in (*hidden, num_classes):
+        flops += 2 * prev * width
+        prev = width
+    model.flops_per_example = 3.0 * flops  # fwd + ~2x for backward
+    return model

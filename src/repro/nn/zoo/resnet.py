@@ -1,0 +1,217 @@
+"""CIFAR-style residual networks at three scales.
+
+- :func:`resnet20` — the paper's ResNet-20 (3 stages x 3 basic blocks,
+  widths 16/32/64), at reduced input resolution.
+- :func:`resnet18_mini` — a lighter basic-block net standing in for
+  ResNet-18 on the ImageNet-like workload.
+- :func:`resnet50_mini` — bottleneck blocks with 4x expansion, the
+  structural stand-in for ResNet-50.
+
+Residual blocks implement backward explicitly: the incoming gradient splits
+into the conv branch and the (possibly projected) shortcut and the two paths
+re-merge at the block input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+__all__ = ["BasicBlock", "BottleneckBlock", "resnet18_mini", "resnet20", "resnet50_mini"]
+
+
+class BasicBlock(Module):
+    """conv3x3-BN-ReLU-conv3x3-BN + shortcut, then ReLU."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False,
+            rng=rng,
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, padding=1, bias=False, rng=rng
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        self.has_projection = stride != 1 or in_channels != out_channels
+        if self.has_projection:
+            self.proj = Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+            )
+            self.proj_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        branch = self.bn2(self.conv2(self.relu1(self.bn1(self.conv1(x)))))
+        shortcut = self.proj_bn(self.proj(x)) if self.has_projection else x
+        return self.relu2(branch + shortcut)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad)
+        d_branch = self.conv1.backward(
+            self.bn1.backward(
+                self.relu1.backward(self.conv2.backward(self.bn2.backward(grad)))
+            )
+        )
+        if self.has_projection:
+            d_short = self.proj.backward(self.proj_bn.backward(grad))
+        else:
+            d_short = grad
+        return d_branch + d_short
+
+
+class BottleneckBlock(Module):
+    """1x1 reduce - 3x3 - 1x1 expand (x``expansion``) + shortcut."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        mid_channels: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        out_channels = mid_channels * self.expansion
+        self.conv1 = Conv2d(in_channels, mid_channels, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(mid_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(
+            mid_channels, mid_channels, 3, stride=stride, padding=1, bias=False,
+            rng=rng,
+        )
+        self.bn2 = BatchNorm2d(mid_channels)
+        self.relu2 = ReLU()
+        self.conv3 = Conv2d(mid_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu3 = ReLU()
+        self.has_projection = stride != 1 or in_channels != out_channels
+        if self.has_projection:
+            self.proj = Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+            )
+            self.proj_bn = BatchNorm2d(out_channels)
+        self.out_channels = out_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        branch = self.relu1(self.bn1(self.conv1(x)))
+        branch = self.relu2(self.bn2(self.conv2(branch)))
+        branch = self.bn3(self.conv3(branch))
+        shortcut = self.proj_bn(self.proj(x)) if self.has_projection else x
+        return self.relu3(branch + shortcut)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu3.backward(grad)
+        d_branch = self.conv3.backward(self.bn3.backward(grad))
+        d_branch = self.conv2.backward(self.bn2.backward(self.relu2.backward(d_branch)))
+        d_branch = self.conv1.backward(self.bn1.backward(self.relu1.backward(d_branch)))
+        if self.has_projection:
+            d_short = self.proj.backward(self.proj_bn.backward(grad))
+        else:
+            d_short = grad
+        return d_branch + d_short
+
+
+class _ResNet(Module):
+    """Stem conv + staged residual blocks + global pool + FC."""
+
+    def __init__(
+        self,
+        block_kind: str,
+        blocks_per_stage: int,
+        widths: tuple[int, int, int],
+        in_channels: int,
+        num_classes: int,
+        seed: int,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.stem_relu = ReLU()
+        blocks: list[Module] = []
+        channels = widths[0]
+        for stage, width in enumerate(widths):
+            for index in range(blocks_per_stage):
+                stride = 2 if stage > 0 and index == 0 else 1
+                if block_kind == "basic":
+                    block = BasicBlock(channels, width, stride, rng)
+                    channels = width
+                else:
+                    block = BottleneckBlock(channels, width, stride, rng)
+                    channels = block.out_channels
+                blocks.append(block)
+        self.body = Sequential(*blocks)
+        self.pool = AvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem_relu(self.stem_bn(self.stem(x)))
+        x = self.body(x)
+        return self.fc(self.pool(x))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.fc.backward(grad))
+        grad = self.body.backward(grad)
+        return self.stem.backward(self.stem_bn.backward(self.stem_relu.backward(grad)))
+
+
+def _attach_flops(model: _ResNet, image_size: int) -> None:
+    # Rough but architecture-aware: conv MACs dominate; 6x for fwd + bwd.
+    macs = 0.0
+    spatial = float(image_size**2)
+    for module in model.modules():
+        if isinstance(module, Conv2d):
+            macs += (
+                module.in_channels
+                * module.out_channels
+                * module.kernel_size**2
+                * spatial
+                / max(1, module.stride**2)
+            )
+    model.flops_per_example = 6.0 * macs
+
+
+def resnet20(
+    in_channels: int = 3, image_size: int = 16, num_classes: int = 10, seed: int = 0
+) -> Module:
+    """The paper's CIFAR-10 ResNet-20 (0.27M params at full width)."""
+    model = _ResNet("basic", 3, (16, 32, 64), in_channels, num_classes, seed)
+    _attach_flops(model, image_size)
+    return model
+
+
+def resnet18_mini(
+    in_channels: int = 3, image_size: int = 16, num_classes: int = 10, seed: int = 0
+) -> Module:
+    """Lighter basic-block net standing in for ResNet-18 on ImageNet."""
+    model = _ResNet("basic", 2, (8, 16, 32), in_channels, num_classes, seed)
+    _attach_flops(model, image_size)
+    return model
+
+
+def resnet50_mini(
+    in_channels: int = 3, image_size: int = 16, num_classes: int = 10, seed: int = 0
+) -> Module:
+    """Bottleneck-block net (4x expansion) standing in for ResNet-50."""
+    model = _ResNet("bottleneck", 2, (8, 16, 32), in_channels, num_classes, seed)
+    _attach_flops(model, image_size)
+    return model

@@ -1,0 +1,35 @@
+"""Theory utilities: bounds and empirical checks for the paper's analysis.
+
+- :mod:`repro.theory.bounds` — evaluators for Theorem 1 (Marsit's
+  convergence bound), Theorem 2 (PS deviation O(D G^2)) and Theorem 3
+  (cascading deviation (2D)^M G^2 / M).
+- :mod:`repro.theory.deviation` — empirical deviation measurement
+  ``||s_hat - s_1||^2`` for PS-compressed vs cascading aggregation
+  (Appendix A's quantities).
+- :mod:`repro.theory.matching` — the Figure 1b matching-rate metric.
+"""
+
+from repro.theory.bounds import (
+    cascading_deviation_bound,
+    marsit_convergence_bound,
+    ps_deviation_bound,
+    recommended_learning_rates,
+)
+from repro.theory.deviation import (
+    cascading_deviation,
+    empirical_deviation,
+    ps_compression_deviation,
+)
+from repro.theory.matching import matching_rate, sign_cosine
+
+__all__ = [
+    "cascading_deviation",
+    "cascading_deviation_bound",
+    "empirical_deviation",
+    "marsit_convergence_bound",
+    "matching_rate",
+    "ps_compression_deviation",
+    "ps_deviation_bound",
+    "recommended_learning_rates",
+    "sign_cosine",
+]

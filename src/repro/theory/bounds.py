@@ -1,0 +1,91 @@
+"""Closed-form bound evaluators for the paper's theorems."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "cascading_deviation_bound",
+    "marsit_convergence_bound",
+    "ps_deviation_bound",
+    "recommended_learning_rates",
+]
+
+
+def ps_deviation_bound(dimension: int, grad_norm_bound: float) -> float:
+    """Theorem 2: ``||s_2 - s_1||^2 <= D G^2`` for SSDM under PS."""
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    if grad_norm_bound < 0:
+        raise ValueError("grad_norm_bound must be non-negative")
+    return dimension * grad_norm_bound**2
+
+
+def cascading_deviation_bound(
+    dimension: int, num_workers: int, grad_norm_bound: float
+) -> float:
+    """Theorem 3: ``||s_3 - s_1||^2 <= (2D)^M G^2 / M`` for cascading.
+
+    Returned in log-space-safe form: for large D/M the value overflows a
+    float, so the function returns ``math.inf`` in that case (the point of
+    the theorem — the bound explodes with M — survives).
+    """
+    if dimension < 1 or num_workers < 1:
+        raise ValueError("dimension and num_workers must be >= 1")
+    if grad_norm_bound < 0:
+        raise ValueError("grad_norm_bound must be non-negative")
+    log_value = (
+        num_workers * math.log(2.0 * dimension)
+        + 2.0 * math.log(max(grad_norm_bound, 1e-300))
+        - math.log(num_workers)
+    )
+    if log_value > 700.0:
+        return math.inf
+    return math.exp(log_value)
+
+
+@dataclass(frozen=True)
+class RecommendedRates:
+    """Theorem 1's learning-rate schedule."""
+
+    local_lr: float
+    global_lr: float
+
+
+def recommended_learning_rates(
+    num_workers: int, rounds: int, dimension: int
+) -> RecommendedRates:
+    """Theorem 1's ``eta_l = sqrt(M/T)``, ``eta_s = 1/sqrt(T D)``."""
+    if num_workers < 1 or rounds < 1 or dimension < 1:
+        raise ValueError("all arguments must be >= 1")
+    return RecommendedRates(
+        local_lr=math.sqrt(num_workers / rounds),
+        global_lr=1.0 / math.sqrt(rounds * dimension),
+    )
+
+
+def marsit_convergence_bound(
+    num_workers: int,
+    rounds: int,
+    full_precision_every: int,
+    smoothness: float = 1.0,
+    sigma: float = 1.0,
+    initial_gap: float = 1.0,
+    dimension: int = 1,
+) -> float:
+    """Theorem 1's right-hand side up to absolute constants.
+
+    ``min_t E||grad F||^2 <= O(1/sqrt(MT)) + O(K(K+1)/T)`` with the
+    paper's constants folded in as ``initial_gap``/``smoothness``/``sigma``.
+    Used by the speedup bench to check the *scaling* (halving when M
+    quadruples; linear growth in K^2/T), not to certify constants.
+    """
+    if rounds < 1 or num_workers < 1 or full_precision_every < 0:
+        raise ValueError("invalid arguments")
+    k = full_precision_every
+    first = (initial_gap + smoothness * sigma**2) / math.sqrt(
+        num_workers * rounds
+    )
+    second = smoothness**2 * k * (k + 1) * (sigma**2 + dimension / dimension) / rounds
+    return first + second

@@ -1,0 +1,70 @@
+"""Empirical deviation measurement (Appendix A's s_1 / s_2 / s_3).
+
+Given worker gradients ``s^(1..M)``, Appendix A compares
+
+- ``s_1`` — the exact mean (non-compressed aggregation),
+- ``s_2`` — the mean of per-worker SSDM estimates (PS-style compression),
+- ``s_3`` — the cascading-compression estimate,
+
+through the squared deviations ``||s_2 - s_1||^2`` (Theorem 2, bounded by
+``D G^2``) and ``||s_3 - s_1||^2`` (Theorem 3, exploding as ``(2D)^M``).
+These functions measure those quantities on real vectors, without any
+cluster plumbing, so the Theorem 3 bench can sweep M cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.ssdm import SSDMCompressor
+
+__all__ = ["cascading_deviation", "empirical_deviation", "ps_compression_deviation"]
+
+
+def empirical_deviation(estimate: np.ndarray, exact: np.ndarray) -> float:
+    """``||estimate - exact||_2^2``."""
+    estimate = np.asarray(estimate, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimate.shape != exact.shape:
+        raise ValueError("shapes must match")
+    return float(((estimate - exact) ** 2).sum())
+
+
+def ps_compression_deviation(
+    gradients: list[np.ndarray],
+    rng: np.random.Generator,
+    compressor: SSDMCompressor | None = None,
+) -> float:
+    """One sample of ``||s_2 - s_1||^2``: mean-of-Q vs exact mean."""
+    if not gradients:
+        raise ValueError("need at least one gradient")
+    compressor = compressor if compressor is not None else SSDMCompressor()
+    exact = np.mean([np.asarray(g, dtype=np.float64) for g in gradients], axis=0)
+    decoded = [
+        compressor.compress(np.asarray(g, dtype=np.float64), rng=rng).decode()
+        for g in gradients
+    ]
+    estimate = np.mean(decoded, axis=0)
+    return empirical_deviation(estimate, exact)
+
+
+def cascading_deviation(
+    gradients: list[np.ndarray],
+    rng: np.random.Generator,
+    compressor: SSDMCompressor | None = None,
+) -> float:
+    """One sample of ``||s_3 - s_1||^2``: M recursive compressions vs mean.
+
+    Implements Appendix A's ``s_3 = Q(...Q(Q(s1) + s2)... + sM) / M``
+    directly (single chain, no ring plumbing).
+    """
+    if not gradients:
+        raise ValueError("need at least one gradient")
+    compressor = compressor if compressor is not None else SSDMCompressor()
+    arrays = [np.asarray(g, dtype=np.float64) for g in gradients]
+    exact = np.mean(arrays, axis=0)
+    running = compressor.compress(arrays[0], rng=rng).decode()
+    for grad in arrays[1:]:
+        running = compressor.compress(running + grad, rng=rng).decode()
+    estimate = running / len(arrays)
+    return empirical_deviation(estimate, exact)

@@ -1,0 +1,41 @@
+"""The Figure 1b matching-rate metric.
+
+Figure 1b scores each aggregation scheme by the fraction of coordinates
+whose aggregated sign matches the sign of the *non-compressed* aggregation —
+a direct measure of how much directional information survives the scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["matching_rate", "sign_cosine"]
+
+
+def matching_rate(estimate: np.ndarray, exact: np.ndarray) -> float:
+    """Fraction of coordinates where ``sign(estimate) == sign(exact)``.
+
+    Zeros are treated as +1 on both sides, consistent with the library's
+    ``sgn(0) = +1`` convention.
+    """
+    estimate = np.asarray(estimate, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimate.shape != exact.shape:
+        raise ValueError("shapes must match")
+    if estimate.size == 0:
+        raise ValueError("vectors must be non-empty")
+    est_sign = np.where(estimate >= 0, 1.0, -1.0)
+    ref_sign = np.where(exact >= 0, 1.0, -1.0)
+    return float((est_sign == ref_sign).mean())
+
+
+def sign_cosine(estimate: np.ndarray, exact: np.ndarray) -> float:
+    """Cosine similarity; 0 when either vector is all-zero."""
+    estimate = np.asarray(estimate, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimate.shape != exact.shape:
+        raise ValueError("shapes must match")
+    denom = np.linalg.norm(estimate) * np.linalg.norm(exact)
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(estimate, exact) / denom)

@@ -1,0 +1,52 @@
+"""Distributed training orchestration.
+
+- :mod:`repro.train.strategies` — one ``SyncStrategy`` per method in the
+  paper's evaluation: PSGD, signSGD majority vote, EF-signSGD, SSDM,
+  cascading compression, and Marsit / Marsit-K.
+- :mod:`repro.train.trainer` — the M-worker lock-step trainer producing
+  accuracy / simulated-time / bytes histories.
+- :mod:`repro.train.metrics` — evaluation and history records.
+"""
+
+from repro.train.checkpoint import (
+    load_model,
+    load_synchronizer_state,
+    save_checkpoint,
+)
+from repro.train.metrics import RoundRecord, TrainResult, evaluate
+from repro.train.schedules import constant, cosine_decay, step_decay, warmup
+from repro.train.strategies import (
+    CascadingSSDMStrategy,
+    EFSignSGDStrategy,
+    MarsitStrategy,
+    PSGDStrategy,
+    PowerSGDStrategy,
+    SSDMStrategy,
+    SignSGDMajorityStrategy,
+    SyncStrategy,
+)
+from repro.train.trainer import DistributedTrainer, TrainConfig, make_cluster
+
+__all__ = [
+    "CascadingSSDMStrategy",
+    "DistributedTrainer",
+    "EFSignSGDStrategy",
+    "MarsitStrategy",
+    "PSGDStrategy",
+    "PowerSGDStrategy",
+    "RoundRecord",
+    "SSDMStrategy",
+    "SignSGDMajorityStrategy",
+    "SyncStrategy",
+    "TrainConfig",
+    "TrainResult",
+    "constant",
+    "cosine_decay",
+    "evaluate",
+    "load_model",
+    "load_synchronizer_state",
+    "make_cluster",
+    "save_checkpoint",
+    "step_decay",
+    "warmup",
+]

@@ -1,0 +1,146 @@
+"""Evaluation and training-history records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import ArrayDataset
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+
+__all__ = ["RoundRecord", "TrainResult", "evaluate"]
+
+
+def evaluate(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 256,
+    max_batches: int | None = None,
+) -> tuple[float, float]:
+    """Return ``(accuracy, mean_loss)`` of the model on ``dataset``.
+
+    Switches the model to eval mode (BatchNorm running stats, no dropout)
+    and restores train mode afterwards.
+    """
+    loss_fn = CrossEntropyLoss()
+    model.eval()
+    correct = 0
+    seen = 0
+    loss_total = 0.0
+    batches = 0
+    try:
+        for start in range(0, len(dataset), batch_size):
+            if max_batches is not None and batches >= max_batches:
+                break
+            x = dataset.x[start : start + batch_size]
+            y = dataset.y[start : start + batch_size]
+            logits = model(x)
+            loss_total += loss_fn(logits, y) * len(y)
+            correct += int((logits.argmax(axis=1) == y).sum())
+            seen += len(y)
+            batches += 1
+    finally:
+        model.train()
+    if seen == 0:
+        return 0.0, float("nan")
+    return correct / seen, loss_total / seen
+
+
+@dataclass
+class RoundRecord:
+    """One evaluation point along a training run."""
+
+    round_idx: int
+    sim_time_s: float
+    comm_bytes: int
+    train_loss: float
+    test_accuracy: float
+    test_loss: float
+    bits_per_element: float
+
+
+@dataclass
+class TrainResult:
+    """Full outcome of a distributed training run."""
+
+    strategy_name: str
+    history: list[RoundRecord] = field(default_factory=list)
+    final_accuracy: float = 0.0
+    total_sim_time_s: float = 0.0
+    total_comm_bytes: int = 0
+    time_breakdown_s: dict[str, float] = field(default_factory=dict)
+    rounds_run: int = 0
+    diverged: bool = False
+    avg_bits_per_element: float = 32.0
+
+    def best_accuracy(self) -> float:
+        if not self.history:
+            return 0.0
+        return max(record.test_accuracy for record in self.history)
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First evaluated round reaching ``target`` accuracy, else None."""
+        for record in self.history:
+            if record.test_accuracy >= target:
+                return record.round_idx
+        return None
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Simulated seconds to first reach ``target`` accuracy, else None."""
+        for record in self.history:
+            if record.test_accuracy >= target:
+                return record.sim_time_s
+        return None
+
+    def bytes_to_accuracy(self, target: float) -> int | None:
+        """Communication bytes spent to first reach ``target``, else None."""
+        for record in self.history:
+            if record.test_accuracy >= target:
+                return record.comm_bytes
+        return None
+
+    def mean_bits_per_element(self) -> float:
+        """Average wire width across evaluated rounds (Figure 3's Bits)."""
+        if not self.history:
+            return 0.0
+        return float(
+            np.mean([record.bits_per_element for record in self.history])
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of the full result (for experiment tracking)."""
+        return {
+            "strategy": self.strategy_name,
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy(),
+            "rounds_run": self.rounds_run,
+            "diverged": self.diverged,
+            "total_sim_time_s": self.total_sim_time_s,
+            "total_comm_bytes": self.total_comm_bytes,
+            "avg_bits_per_element": self.avg_bits_per_element,
+            "time_breakdown_s": dict(self.time_breakdown_s),
+            "history": [
+                {
+                    "round": record.round_idx,
+                    "sim_time_s": record.sim_time_s,
+                    "comm_bytes": record.comm_bytes,
+                    "train_loss": record.train_loss,
+                    "test_accuracy": record.test_accuracy,
+                    "test_loss": record.test_loss,
+                    "bits_per_element": record.bits_per_element,
+                }
+                for record in self.history
+            ],
+        }
+
+    def to_json(self, path: str | None = None, indent: int = 2) -> str:
+        """Serialize to JSON; optionally write to ``path``."""
+        import json
+
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+        return text

@@ -1,0 +1,72 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``round_idx -> multiplier`` applied on top of a
+base learning rate — the same contract as ``MarsitConfig.global_lr_schedule``
+— so one schedule object can drive both the local and global stepsizes.
+
+The paper's image experiments "decay by a factor of 10 every full-precision
+synchronization"; :func:`step_decay` with ``period = K`` expresses that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = [
+    "constant",
+    "cosine_decay",
+    "step_decay",
+    "warmup",
+]
+
+Schedule = Callable[[int], float]
+
+
+def constant() -> Schedule:
+    """Multiplier 1.0 forever."""
+    return lambda round_idx: 1.0
+
+
+def step_decay(period: int, factor: float = 0.1) -> Schedule:
+    """Multiply by ``factor`` every ``period`` rounds (paper's FP-sync decay).
+
+    ``multiplier(t) = factor ** (t // period)``.
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    if not 0.0 < factor <= 1.0:
+        raise ValueError("factor must be in (0, 1]")
+    return lambda round_idx: factor ** (round_idx // period)
+
+
+def cosine_decay(total_rounds: int, floor: float = 0.0) -> Schedule:
+    """Cosine annealing from 1.0 to ``floor`` over ``total_rounds``."""
+    if total_rounds < 1:
+        raise ValueError("total_rounds must be >= 1")
+    if not 0.0 <= floor <= 1.0:
+        raise ValueError("floor must be in [0, 1]")
+
+    def schedule(round_idx: int) -> float:
+        progress = min(1.0, max(0, round_idx) / total_rounds)
+        return floor + (1.0 - floor) * 0.5 * (1.0 + math.cos(math.pi * progress))
+
+    return schedule
+
+
+def warmup(warmup_rounds: int, after: Schedule | None = None) -> Schedule:
+    """Linear ramp from ~0 to 1.0 over ``warmup_rounds``, then ``after``.
+
+    ``after`` is evaluated with the round index shifted past the warmup so
+    its own clock starts at 0.
+    """
+    if warmup_rounds < 1:
+        raise ValueError("warmup_rounds must be >= 1")
+    tail = after if after is not None else constant()
+
+    def schedule(round_idx: int) -> float:
+        if round_idx < warmup_rounds:
+            return (round_idx + 1) / warmup_rounds
+        return tail(round_idx - warmup_rounds)
+
+    return schedule

@@ -1,0 +1,282 @@
+"""The M-worker lock-step distributed trainer.
+
+Because every strategy in this library returns *identical* updates on all
+workers (consensus is part of each scheme), the trainer keeps one physical
+model and runs per-worker forward/backward passes against per-worker batches
+— exactly equivalent to M replicas that never diverge, at 1/M the memory.
+Tests assert the consensus property separately.
+
+Per round the trainer:
+
+1. draws one batch per worker from its iid shard,
+2. computes per-worker gradients (charging computation time once — workers
+   run in parallel),
+3. hands the gradients to the :class:`SyncStrategy` (which does all
+   communication through the cluster, charging bytes and time),
+4. applies the consensus update, and
+5. periodically evaluates on the held-out set, recording accuracy against
+   rounds, simulated seconds, and cumulative bytes — the axes of
+   Figures 3, 4a and 4b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.comm.cluster import Cluster
+from repro.comm.timing import CostModel, Phase
+from repro.comm.topology import (
+    ring_topology,
+    star_topology,
+    torus_topology,
+    tree_topology,
+)
+from repro.data.sharding import WorkerBatchIterator, shard_dirichlet, shard_iid
+from repro.data.synthetic import ArrayDataset
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.train.metrics import RoundRecord, TrainResult, evaluate
+from repro.train.strategies import SyncStrategy
+
+__all__ = ["DistributedTrainer", "TrainConfig", "make_cluster"]
+
+
+@dataclass
+class TrainConfig:
+    """Distributed-run shape.
+
+    Attributes:
+        num_workers: M.
+        rounds: synchronizations T.
+        batch_size: per-worker batch size (global batch = M x this).
+        topology: ``"ring"`` (RAR), ``"torus"`` (TAR), ``"star"`` (PS), or
+            ``"tree"`` (tree all-reduce).
+        torus_shape: (rows, cols) when topology is torus.
+        eval_every: evaluation cadence in rounds.
+        eval_max_batches: cap on evaluation batches (None = full test set).
+        seed: controls sharding and batch order.
+        divergence_loss: a train loss above this (or non-finite) marks the
+            run diverged and stops it — how Table 1 detects divergence.
+        sharding: ``"iid"`` (the paper's shuffled-cloud assumption) or
+            ``"dirichlet"`` (label-skewed stress regime).
+        dirichlet_alpha: skew parameter when ``sharding == "dirichlet"``.
+        clip_grad_norm: when set, each worker's gradient is rescaled to at
+            most this l2 norm before synchronization (standard transformer
+            hygiene; applied identically by every scheme for fairness).
+        byzantine_workers: the first N workers send *inverted and 10x
+            amplified* gradients every round — the adversary of signSGD's
+            fault-tolerance analysis (Bernstein et al., paper ref [13]).
+            Sign/vote schemes bound every worker's per-coordinate influence
+            to ±1, so a minority adversary is outvoted; mean-based
+            aggregation is dominated by the amplified liar.
+        local_steps: local updates per synchronization (paper Section 5:
+            "clients perform multiple local updates between two successive
+            synchronizations").  Each worker walks ``local_steps`` plain-SGD
+            steps of size ``local_step_lr`` from the shared parameters on
+            its own batches; the *mean* of the gradients along that walk is
+            handed to the strategy, so per-round gradient scales stay
+            comparable to the 1-step case while communication frequency
+            drops ``local_steps``-fold.
+        local_step_lr: inner stepsize when ``local_steps > 1``.
+    """
+
+    num_workers: int
+    rounds: int
+    batch_size: int = 32
+    topology: str = "ring"
+    torus_shape: tuple[int, int] | None = None
+    eval_every: int = 10
+    eval_max_batches: int | None = None
+    seed: int = 0
+    divergence_loss: float = 1e4
+    sharding: str = "iid"
+    dirichlet_alpha: float = 0.5
+    clip_grad_norm: float | None = None
+    byzantine_workers: int = 0
+    local_steps: int = 1
+    local_step_lr: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.topology not in ("ring", "torus", "star", "tree"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.sharding not in ("iid", "dirichlet"):
+            raise ValueError(f"unknown sharding {self.sharding!r}")
+        if self.clip_grad_norm is not None and self.clip_grad_norm <= 0:
+            raise ValueError("clip_grad_norm must be positive or None")
+        if not 0 <= self.byzantine_workers <= self.num_workers:
+            raise ValueError("byzantine_workers must be in [0, num_workers]")
+        if self.local_steps < 1:
+            raise ValueError("local_steps must be >= 1")
+        if self.local_step_lr <= 0:
+            raise ValueError("local_step_lr must be positive")
+        if self.topology == "torus":
+            if self.torus_shape is None:
+                raise ValueError("torus topology needs torus_shape")
+            rows, cols = self.torus_shape
+            if rows * cols != self.num_workers:
+                raise ValueError("torus_shape must multiply to num_workers")
+
+
+def make_cluster(config: TrainConfig, cost_model: CostModel | None = None) -> Cluster:
+    """Build the cluster matching a :class:`TrainConfig`."""
+    if config.topology == "torus":
+        rows, cols = config.torus_shape
+        topology = torus_topology(rows, cols)
+    elif config.topology == "star":
+        # Rank 0 doubles as the parameter server (it aggregates its own
+        # gradient locally), so cluster size equals worker count and the
+        # strategies' per-rank bookkeeping is topology independent.
+        topology = star_topology(config.num_workers, server=0)
+    elif config.topology == "tree":
+        topology = tree_topology(config.num_workers, arity=2)
+    else:
+        topology = ring_topology(config.num_workers)
+    return Cluster(topology, cost_model=cost_model)
+
+
+class DistributedTrainer:
+    """Runs one (model, dataset, strategy) combination to completion."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        train_set: ArrayDataset,
+        test_set: ArrayDataset,
+        strategy: SyncStrategy,
+        config: TrainConfig,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.model = model_factory()
+        self.train_set = train_set
+        self.test_set = test_set
+        self.strategy = strategy
+        self.config = config
+        self.cluster = make_cluster(config, cost_model=cost_model)
+        if config.sharding == "dirichlet":
+            shards = shard_dirichlet(
+                train_set,
+                config.num_workers,
+                alpha=config.dirichlet_alpha,
+                seed=config.seed,
+                min_per_worker=config.batch_size,
+            )
+        else:
+            shards = shard_iid(train_set, config.num_workers, seed=config.seed)
+        self.iterators = [
+            WorkerBatchIterator(shard, config.batch_size, seed=config.seed + 101 * w)
+            for w, shard in enumerate(shards)
+        ]
+        self.loss_fn = CrossEntropyLoss()
+        self._flops_per_example = float(
+            getattr(self.model, "flops_per_example", 6.0 * self.model.num_parameters())
+        )
+
+    def _one_gradient(self, iterator: WorkerBatchIterator) -> tuple[np.ndarray, float]:
+        x, y = iterator.next_batch()
+        self.model.zero_grad()
+        logits = self.model(x)
+        loss = self.loss_fn(logits, y)
+        self.model.backward(self.loss_fn.backward())
+        return self.model.flatten_grads(), loss
+
+    def _worker_gradients(self) -> tuple[list[np.ndarray], float]:
+        """Per-worker (accumulated) gradients, plus the mean train loss.
+
+        With ``local_steps > 1`` each worker walks a short local-SGD
+        trajectory from the shared parameters and reports the mean gradient
+        along it; parameters are restored between workers so every walk
+        starts from consensus.
+        """
+        grads = []
+        losses = []
+        local_steps = self.config.local_steps
+        shared = self.model.flatten_params() if local_steps > 1 else None
+        for worker, iterator in enumerate(self.iterators):
+            if local_steps == 1:
+                grad, loss = self._one_gradient(iterator)
+            else:
+                self.model.set_flat_params(shared)
+                step_grads = []
+                loss = 0.0
+                for _ in range(local_steps):
+                    step_grad, step_loss = self._one_gradient(iterator)
+                    step_grads.append(step_grad)
+                    loss += step_loss / local_steps
+                    self.model.add_flat_update(
+                        self.config.local_step_lr * step_grad, scale=-1.0
+                    )
+                grad = np.mean(step_grads, axis=0)
+            losses.append(loss)
+            if self.config.clip_grad_norm is not None:
+                norm = float(np.linalg.norm(grad))
+                if norm > self.config.clip_grad_norm:
+                    grad = grad * (self.config.clip_grad_norm / norm)
+            if worker < self.config.byzantine_workers:
+                grad = -10.0 * grad
+            grads.append(grad)
+        if shared is not None:
+            self.model.set_flat_params(shared)
+        # Workers compute in parallel: charge one worker's forward+backward.
+        self.cluster.charge(
+            Phase.COMPUTATION,
+            self.cluster.cost_model.compute_time(
+                self._flops_per_example * self.config.batch_size * local_steps
+            ),
+        )
+        return grads, float(np.mean(losses))
+
+    def run(self) -> TrainResult:
+        """Train for ``config.rounds`` rounds (early stop on divergence)."""
+        result = TrainResult(strategy_name=self.strategy.name)
+        bits_seen: list[float] = []
+        train_loss = float("nan")
+        for round_idx in range(self.config.rounds):
+            grads, train_loss = self._worker_gradients()
+            if not np.isfinite(train_loss) or train_loss > self.config.divergence_loss:
+                result.diverged = True
+                result.rounds_run = round_idx
+                break
+            step = self.strategy.step(self.cluster, grads, round_idx)
+            bits_seen.append(step.bits_per_element)
+            update = step.updates[0]
+            if not np.isfinite(update).all():
+                result.diverged = True
+                result.rounds_run = round_idx
+                break
+            self.model.add_flat_update(update, scale=-1.0)
+            result.rounds_run = round_idx + 1
+            last_round = round_idx == self.config.rounds - 1
+            if round_idx % self.config.eval_every == 0 or last_round:
+                accuracy, test_loss = evaluate(
+                    self.model,
+                    self.test_set,
+                    max_batches=self.config.eval_max_batches,
+                )
+                result.history.append(
+                    RoundRecord(
+                        round_idx=round_idx,
+                        sim_time_s=self.cluster.timeline.total,
+                        comm_bytes=self.cluster.total_bytes,
+                        train_loss=train_loss,
+                        test_accuracy=accuracy,
+                        test_loss=test_loss,
+                        bits_per_element=step.bits_per_element,
+                    )
+                )
+        result.final_accuracy = (
+            result.history[-1].test_accuracy if result.history else 0.0
+        )
+        result.total_sim_time_s = self.cluster.timeline.total
+        result.total_comm_bytes = self.cluster.total_bytes
+        result.time_breakdown_s = self.cluster.timeline.breakdown()
+        result.avg_bits_per_element = (
+            float(np.mean(bits_seen)) if bits_seen else 32.0
+        )
+        return result

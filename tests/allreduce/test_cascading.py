@@ -1,0 +1,103 @@
+"""Tests for cascading compression (the Section 3.2 anti-pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.allreduce.cascading import cascading_ring_allreduce
+from repro.comm.cluster import Cluster
+from repro.comm.timing import Phase
+from repro.comm.topology import ring_topology
+from repro.compression.signsgd import MeanAbsSignCompressor
+from repro.compression.ssdm import SSDMCompressor
+
+
+def run(m, d, compressor, seed=0, charge_time=True):
+    rng = np.random.default_rng(seed)
+    vectors = [rng.standard_normal(d) for _ in range(m)]
+    cluster = Cluster(ring_topology(m))
+    rngs = [np.random.default_rng(seed + 1 + i) for i in range(m)]
+    results = cascading_ring_allreduce(
+        cluster, vectors, compressor, rngs, charge_time=charge_time
+    )
+    return vectors, cluster, results
+
+
+class TestCascading:
+    def test_all_workers_agree(self):
+        _, cluster, results = run(4, 40, SSDMCompressor())
+        for result in results[1:]:
+            assert np.allclose(result, results[0])
+        cluster.assert_drained()
+
+    def test_single_worker_identity(self, rng):
+        cluster = Cluster(ring_topology(1))
+        vector = rng.standard_normal(5)
+        results = cascading_ring_allreduce(
+            cluster, [vector], SSDMCompressor(), [rng]
+        )
+        assert np.allclose(results[0], vector)
+
+    def test_one_bit_traffic(self):
+        # Every hop ships sign bits + one norm: ~1 bit per element.
+        m, d = 4, 800
+        _, cluster, _ = run(m, d, SSDMCompressor())
+        seg_bytes = (d // m) // 8 + 4  # bits + fp32 scale
+        expected = 2 * (m - 1) * m * seg_bytes
+        assert cluster.total_bytes == expected
+
+    def test_charges_serialized_codec_time(self):
+        _, cluster, _ = run(3, 60, SSDMCompressor(), charge_time=True)
+        assert cluster.timeline.seconds[Phase.COMPRESSION] > 0
+
+    def test_no_charge_when_disabled(self):
+        _, cluster, _ = run(3, 60, SSDMCompressor(), charge_time=False)
+        assert cluster.timeline.seconds[Phase.COMPRESSION] == 0
+
+    def test_unbiased_for_two_workers_in_expectation(self):
+        # With M=2 and tiny D the SSDM cascade is unbiased: average many
+        # independent runs and compare against the exact mean.
+        m, d = 2, 4
+        base_rng = np.random.default_rng(42)
+        vectors = [base_rng.standard_normal(d) for _ in range(m)]
+        exact = np.mean(vectors, axis=0)
+        total = np.zeros(d)
+        trials = 4000
+        for trial in range(trials):
+            cluster = Cluster(ring_topology(m))
+            rngs = [np.random.default_rng(10_000 + 2 * trial + i) for i in range(m)]
+            total += cascading_ring_allreduce(
+                cluster, [v.copy() for v in vectors], SSDMCompressor(), rngs,
+                charge_time=False,
+            )[0]
+        mean_estimate = total / trials
+        # Variance per trial is large; tolerance is generous but directional.
+        assert np.abs(mean_estimate - exact).max() < 0.5
+
+    def test_signal_degrades_with_workers(self):
+        # Theorem 3's message: more hops, less directional fidelity.
+        from repro.theory.matching import sign_cosine
+
+        def mean_cosine(m):
+            rng = np.random.default_rng(7)
+            d = 256
+            vectors = [rng.standard_normal(d) + 0.5 for _ in range(m)]
+            exact = np.mean(vectors, axis=0)
+            values = []
+            for t in range(20):
+                cluster = Cluster(ring_topology(m))
+                rngs = [np.random.default_rng(100 * t + i) for i in range(m)]
+                out = cascading_ring_allreduce(
+                    cluster, [v.copy() for v in vectors],
+                    MeanAbsSignCompressor(), rngs, charge_time=False,
+                )[0]
+                values.append(sign_cosine(out, exact))
+            return float(np.mean(values))
+
+        assert mean_cosine(8) < mean_cosine(2)
+
+    def test_rejects_mismatched_inputs(self, rng):
+        cluster = Cluster(ring_topology(3))
+        with pytest.raises(ValueError):
+            cascading_ring_allreduce(
+                cluster, [rng.standard_normal(4)] * 2, SSDMCompressor(), [rng] * 3
+            )

@@ -1,0 +1,77 @@
+"""Tests for gossip averaging."""
+
+import numpy as np
+import pytest
+
+from repro.allreduce.gossip import gossip_average_round, gossip_mixing_matrix
+from repro.comm.cluster import Cluster
+from repro.comm.topology import fully_connected_topology, ring_topology
+
+
+class TestMixingMatrix:
+    def test_doubly_stochastic(self):
+        cluster = Cluster(ring_topology(6, bidirectional=True))
+        weights = gossip_mixing_matrix(cluster)
+        assert np.allclose(weights.sum(axis=0), 1.0)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert (weights >= 0).all()
+
+    def test_symmetric(self):
+        cluster = Cluster(fully_connected_topology(5))
+        weights = gossip_mixing_matrix(cluster)
+        assert np.allclose(weights, weights.T)
+
+    def test_rejects_asymmetric_topology(self):
+        with pytest.raises(ValueError):
+            gossip_mixing_matrix(Cluster(ring_topology(4)))
+
+
+class TestGossipRound:
+    def test_preserves_mean(self, rng):
+        cluster = Cluster(ring_topology(5, bidirectional=True))
+        vectors = [rng.standard_normal(8) for _ in range(5)]
+        mixed = gossip_average_round(cluster, vectors)
+        assert np.allclose(
+            np.mean(mixed, axis=0), np.mean(vectors, axis=0), atol=1e-7
+        )
+        cluster.assert_drained()
+
+    def test_converges_to_consensus(self, rng):
+        cluster = Cluster(ring_topology(4, bidirectional=True))
+        vectors = [rng.standard_normal(6) for _ in range(4)]
+        target = np.mean(vectors, axis=0)
+        mixing = gossip_mixing_matrix(cluster)
+        current = vectors
+        for _ in range(100):
+            current = gossip_average_round(cluster, current, mixing=mixing)
+        for vector in current:
+            assert np.allclose(vector, target, atol=1e-5)
+
+    def test_fully_connected_converges_in_one_round(self, rng):
+        cluster = Cluster(fully_connected_topology(4))
+        vectors = [rng.standard_normal(5) for _ in range(4)]
+        mixed = gossip_average_round(cluster, vectors)
+        # Metropolis weights on K_4 are exactly uniform 1/4.
+        for vector in mixed:
+            assert np.allclose(vector, np.mean(vectors, axis=0), atol=1e-6)
+
+    def test_sparse_ring_slower_than_dense(self, rng):
+        # The intro's point: gossip convergence rate depends on connectivity.
+        vectors = [rng.standard_normal(4) for _ in range(8)]
+        target = np.mean(vectors, axis=0)
+
+        def disagreement_after(topology, rounds):
+            cluster = Cluster(topology)
+            current = [v.copy() for v in vectors]
+            for _ in range(rounds):
+                current = gossip_average_round(cluster, current)
+            return max(np.abs(v - target).max() for v in current)
+
+        ring_err = disagreement_after(ring_topology(8, bidirectional=True), 10)
+        full_err = disagreement_after(fully_connected_topology(8), 10)
+        assert full_err < ring_err
+
+    def test_rejects_wrong_count(self, rng):
+        cluster = Cluster(ring_topology(3, bidirectional=True))
+        with pytest.raises(ValueError):
+            gossip_average_round(cluster, [rng.standard_normal(2)] * 2)

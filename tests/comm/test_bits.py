@@ -1,0 +1,138 @@
+"""Unit and property tests for bit-level codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.bits import (
+    BitVector,
+    elias_delta_decode,
+    elias_delta_encode,
+    elias_gamma_decode,
+    elias_gamma_encode,
+    pack_signs,
+    signed_int_bit_width,
+    unpack_signs,
+)
+
+
+class TestBitVector:
+    def test_roundtrip_bits(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1, 0], dtype=np.uint8)
+        vector = BitVector.from_bits(bits)
+        assert np.array_equal(vector.to_bits(), bits)
+
+    def test_roundtrip_signs(self):
+        signs = np.array([1.0, -1.0, -1.0, 1.0, 1.0])
+        vector = BitVector.from_signs(signs)
+        assert np.array_equal(vector.to_signs(), signs)
+
+    def test_zero_maps_to_plus_one(self):
+        vector = BitVector.from_signs(np.array([0.0, -0.5, 2.0]))
+        assert np.array_equal(vector.to_signs(), [1.0, -1.0, 1.0])
+
+    def test_nbytes_is_ceil_div_8(self):
+        for length, expected in [(1, 1), (8, 1), (9, 2), (16, 2), (17, 3)]:
+            vector = BitVector.from_bits(np.zeros(length, dtype=np.uint8))
+            assert vector.nbytes == expected
+
+    def test_empty_vector(self):
+        vector = BitVector.from_bits(np.zeros(0, dtype=np.uint8))
+        assert vector.nbytes == 0
+        assert vector.to_bits().size == 0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits(np.array([0, 2, 1]))
+
+    def test_rejects_wrong_byte_count(self):
+        with pytest.raises(ValueError):
+            BitVector(data=b"\x00\x00", length=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits(np.zeros((2, 2), dtype=np.uint8))
+
+    @given(
+        st.lists(st.sampled_from([0, 1]), min_size=0, max_size=200)
+    )
+    def test_roundtrip_property(self, bits):
+        array = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(BitVector.from_bits(array).to_bits(), array)
+
+
+class TestPackSigns:
+    def test_pack_unpack(self, rng):
+        values = rng.standard_normal(37)
+        expected = np.where(values >= 0, 1.0, -1.0)
+        assert np.array_equal(unpack_signs(pack_signs(values)), expected)
+
+    def test_one_bit_per_element(self, rng):
+        vector = pack_signs(rng.standard_normal(1000))
+        assert vector.nbytes == 125
+
+
+class TestSignedIntBitWidth:
+    def test_one_is_one_bit(self):
+        assert signed_int_bit_width(1) == 1
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(2, 3), (3, 3), (4, 4), (7, 4), (8, 5), (15, 5), (16, 6)],
+    )
+    def test_growth(self, value, expected):
+        assert signed_int_bit_width(value) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            signed_int_bit_width(0)
+
+    def test_width_covers_range(self):
+        # A width-w signed encoding must represent 2*v + 1 values.
+        for v in range(2, 100):
+            width = signed_int_bit_width(v)
+            assert 2**width >= 2 * v + 1
+
+
+class TestEliasCodes:
+    def test_gamma_roundtrip(self):
+        values = [1, 2, 3, 10, 100, 1000, 65535]
+        payload, bit_count = elias_gamma_encode(values)
+        assert bit_count <= len(payload) * 8
+        assert np.array_equal(elias_gamma_decode(payload, len(values)), values)
+
+    def test_delta_roundtrip(self):
+        values = [1, 5, 17, 255, 4096]
+        payload, _ = elias_delta_encode(values)
+        assert np.array_equal(elias_delta_decode(payload, len(values)), values)
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(ValueError):
+            elias_gamma_encode([0])
+
+    def test_delta_rejects_zero(self):
+        with pytest.raises(ValueError):
+            elias_delta_encode([0])
+
+    def test_gamma_length_of_one_is_one_bit(self):
+        _, bits = elias_gamma_encode([1, 1, 1])
+        assert bits == 3
+
+    def test_delta_shorter_than_gamma_for_large_ints(self):
+        values = [100000] * 10
+        _, gamma_bits = elias_gamma_encode(values)
+        _, delta_bits = elias_delta_encode(values)
+        assert delta_bits < gamma_bits
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_gamma_roundtrip_property(self, values):
+        payload, _ = elias_gamma_encode(values)
+        assert np.array_equal(elias_gamma_decode(payload, len(values)), values)
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_delta_roundtrip_property(self, values):
+        payload, _ = elias_delta_encode(values)
+        assert np.array_equal(elias_delta_decode(payload, len(values)), values)

@@ -1,0 +1,76 @@
+"""Tests for the alpha-beta cost model and timeline."""
+
+import pytest
+
+from repro.comm.timing import CostModel, Phase, TimeLine
+
+
+class TestCostModel:
+    def test_transfer_time(self):
+        model = CostModel(latency_s=1e-4, bandwidth_Bps=1e6)
+        assert model.transfer_time(1000) == pytest.approx(1e-4 + 1e-3)
+
+    def test_zero_bytes_costs_latency(self):
+        model = CostModel(latency_s=5e-5)
+        assert model.transfer_time(0) == pytest.approx(5e-5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().transfer_time(-1)
+
+    def test_compute_time(self):
+        model = CostModel(flops_per_s=1e9)
+        assert model.compute_time(2e9) == pytest.approx(2.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().compute_time(-1.0)
+
+    def test_codec_times_scale_linearly(self):
+        model = CostModel(
+            compress_elems_per_s=1e6,
+            decompress_elems_per_s=2e6,
+            rng_elems_per_s=4e6,
+            bitop_elems_per_s=8e6,
+        )
+        assert model.compress_time(1_000_000) == pytest.approx(1.0)
+        assert model.decompress_time(1_000_000) == pytest.approx(0.5)
+        assert model.rng_time(1_000_000) == pytest.approx(0.25)
+        assert model.bitop_time(1_000_000) == pytest.approx(0.125)
+
+
+class TestTimeLine:
+    def test_accumulates_per_phase(self):
+        timeline = TimeLine()
+        timeline.add(Phase.COMPUTATION, 1.0)
+        timeline.add(Phase.COMPUTATION, 0.5)
+        timeline.add(Phase.COMMUNICATION, 2.0)
+        assert timeline.seconds[Phase.COMPUTATION] == 1.5
+        assert timeline.total == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TimeLine().add(Phase.COMPRESSION, -0.1)
+
+    def test_breakdown_keys(self):
+        breakdown = TimeLine().breakdown()
+        assert set(breakdown) == {"computation", "compression", "communication"}
+
+    def test_merged_with(self):
+        a, b = TimeLine(), TimeLine()
+        a.add(Phase.COMPUTATION, 1.0)
+        b.add(Phase.COMPUTATION, 2.0)
+        b.add(Phase.COMPRESSION, 3.0)
+        merged = a.merged_with(b)
+        assert merged.seconds[Phase.COMPUTATION] == 3.0
+        assert merged.seconds[Phase.COMPRESSION] == 3.0
+        # originals untouched
+        assert a.seconds[Phase.COMPUTATION] == 1.0
+
+    def test_copy_is_independent(self):
+        a = TimeLine()
+        a.add(Phase.COMPUTATION, 1.0)
+        b = a.copy()
+        b.add(Phase.COMPUTATION, 1.0)
+        assert a.seconds[Phase.COMPUTATION] == 1.0
+        assert b.seconds[Phase.COMPUTATION] == 2.0

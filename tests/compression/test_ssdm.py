@@ -1,0 +1,105 @@
+"""Tests for the SSDM stochastic sign compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compression.ssdm import (
+    BlockScaledSignPayload,
+    SSDMCompressor,
+    stochastic_sign,
+)
+
+
+class TestStochasticSign:
+    def test_signs_are_pm_one(self, rng):
+        signs, _ = stochastic_sign(rng.standard_normal(100), rng)
+        assert np.isin(signs, (-1.0, 1.0)).all()
+
+    def test_norm_returned(self, rng):
+        vector = rng.standard_normal(10)
+        _, norm = stochastic_sign(vector, rng)
+        assert norm == pytest.approx(np.linalg.norm(vector))
+
+    def test_zero_vector_fair_coin(self):
+        rng = np.random.default_rng(0)
+        signs, norm = stochastic_sign(np.zeros(2000), rng)
+        assert norm == 0.0
+        assert abs(signs.mean()) < 0.1
+
+    def test_unbiased_estimator(self):
+        # E[norm * sign~(v)] == v (Appendix A).
+        rng = np.random.default_rng(1)
+        vector = rng.standard_normal(16)
+        norm = np.linalg.norm(vector)
+        total = np.zeros(16)
+        trials = 30_000
+        draw_rng = np.random.default_rng(2)
+        for _ in range(trials):
+            signs, _ = stochastic_sign(vector, draw_rng)
+            total += norm * signs
+        estimate = total / trials
+        # std of the mean ~ norm / sqrt(trials)
+        assert np.abs(estimate - vector).max() < 5 * norm / np.sqrt(trials) + 0.05
+
+    def test_extreme_element_always_kept(self):
+        # An element equal to the norm has flip probability 1.
+        rng = np.random.default_rng(3)
+        vector = np.array([5.0, 0.0, 0.0])
+        for _ in range(50):
+            signs, _ = stochastic_sign(vector, rng)
+            assert signs[0] == 1.0
+
+
+class TestSSDMCompressor:
+    def test_requires_rng(self, rng):
+        with pytest.raises(ValueError):
+            SSDMCompressor().compress(rng.standard_normal(4))
+
+    def test_payload_size_global(self, rng):
+        payload = SSDMCompressor().compress(rng.standard_normal(80), rng=rng)
+        assert payload.nbytes == 10 + 4  # bits + one fp32 norm
+
+    def test_block_payload_size(self, rng):
+        payload = SSDMCompressor(block_size=16).compress(
+            rng.standard_normal(80), rng=rng
+        )
+        assert isinstance(payload, BlockScaledSignPayload)
+        assert payload.nbytes == 10 + 4 * 5  # bits + 5 block norms
+
+    def test_block_decode_shape(self, rng):
+        vector = rng.standard_normal(50)  # not a multiple of 16
+        payload = SSDMCompressor(block_size=16).compress(vector, rng=rng)
+        assert payload.decode().shape == (50,)
+
+    def test_block_unbiased(self):
+        rng = np.random.default_rng(4)
+        vector = rng.standard_normal(32)
+        compressor = SSDMCompressor(block_size=8)
+        total = np.zeros(32)
+        trials = 20_000
+        for _ in range(trials):
+            total += compressor.compress(vector, rng=rng).decode()
+        estimate = total / trials
+        assert np.abs(estimate - vector).max() < 0.2
+
+    def test_block_of_zeros_decodes_to_zero(self, rng):
+        vector = np.concatenate([np.zeros(8), np.ones(8)])
+        payload = SSDMCompressor(block_size=8).compress(vector, rng=rng)
+        assert np.allclose(payload.decode()[:8], 0.0)
+
+    def test_small_vector_falls_back_to_global(self, rng):
+        payload = SSDMCompressor(block_size=64).compress(
+            rng.standard_normal(10), rng=rng
+        )
+        # Single-block fallback is the plain scaled payload.
+        from repro.compression.base import ScaledSignPayload
+
+        assert isinstance(payload, ScaledSignPayload)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            SSDMCompressor(block_size=0)
+
+    def test_nominal_bits(self):
+        assert SSDMCompressor().nominal_bits_per_element() == 1.0
+        assert SSDMCompressor(block_size=32).nominal_bits_per_element() == 2.0

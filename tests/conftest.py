@@ -1,0 +1,18 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def rngs():
+    def make(count, seed=0):
+        seeds = np.random.SeedSequence(seed).spawn(count)
+        return [np.random.default_rng(s) for s in seeds]
+
+    return make

@@ -1,0 +1,212 @@
+"""Tests for the Marsit synchronizer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import Cluster
+from repro.comm.timing import Phase
+from repro.comm.topology import ring_topology, star_topology, torus_topology
+from repro.core.marsit import MarsitConfig, MarsitState, MarsitSynchronizer
+
+
+def ring_cluster(m):
+    return Cluster(ring_topology(m))
+
+
+class TestConfig:
+    def test_round_schedule(self):
+        config = MarsitConfig(global_lr=0.01, full_precision_every=5)
+        assert config.is_full_precision_round(0)
+        assert not config.is_full_precision_round(1)
+        assert config.is_full_precision_round(5)
+
+    def test_none_means_never(self):
+        config = MarsitConfig(global_lr=0.01, full_precision_every=None)
+        assert not any(config.is_full_precision_round(t) for t in range(100))
+
+    def test_schedule_multiplier(self):
+        config = MarsitConfig(
+            global_lr=0.1, global_lr_schedule=lambda t: 0.5 if t >= 10 else 1.0
+        )
+        assert config.effective_global_lr(0) == pytest.approx(0.1)
+        assert config.effective_global_lr(10) == pytest.approx(0.05)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            MarsitConfig(global_lr=0.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MarsitConfig(global_lr=0.1, full_precision_every=0)
+
+
+class TestOneBitSync:
+    def test_consensus_on_ring(self, rng):
+        m, d = 4, 100
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), m, d)
+        report = sync.synchronize(
+            ring_cluster(m), [rng.standard_normal(d) for _ in range(m)], 1
+        )
+        for update in report.global_updates[1:]:
+            assert np.array_equal(update, report.global_updates[0])
+        assert not report.full_precision
+
+    def test_update_is_scaled_signs(self, rng):
+        m, d = 3, 30
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.05), m, d)
+        report = sync.synchronize(
+            ring_cluster(m), [rng.standard_normal(d) for _ in range(m)], 1
+        )
+        assert np.isin(report.global_updates[0] / 0.05, (-1.0, 1.0)).all()
+
+    def test_one_bit_on_wire(self, rng):
+        m, d = 4, 8000
+        cluster = ring_cluster(m)
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), m, d)
+        sync.synchronize(cluster, [rng.standard_normal(d) for _ in range(m)], 1)
+        # Ring: 2 (M-1) hops of D/M bits each per worker chain.
+        expected_bits = 2 * (m - 1) * m * (d // m)
+        assert cluster.total_bytes == pytest.approx(expected_bits / 8, rel=0.02)
+
+    def test_unanimous_signs_survive_exactly(self, rng):
+        # When all workers agree on a coordinate's sign, the merge never
+        # flips it (the AND path of the operator).
+        m, d = 5, 200
+        base = np.abs(rng.standard_normal(d)) + 0.1
+        updates = [base * (1.0 + 0.1 * rng.random(d)) for _ in range(m)]
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=1.0), m, d)
+        report = sync.synchronize(ring_cluster(m), updates, 1)
+        assert (report.global_updates[0] == 1.0).all()
+
+    def test_unbiased_mean_sign(self, rng):
+        m, d = 3, 1500
+        base = [rng.standard_normal(d) for _ in range(m)]
+        mean_sign = np.mean([np.where(b >= 0, 1.0, -1.0) for b in base], axis=0)
+        acc = np.zeros(d)
+        trials = 150
+        for trial in range(trials):
+            sync = MarsitSynchronizer(
+                MarsitConfig(global_lr=1.0, seed=trial), m, d
+            )
+            report = sync.synchronize(
+                ring_cluster(m), [b.copy() for b in base], 1
+            )
+            acc += report.global_updates[0]
+        error = np.abs(acc / trials - mean_sign).mean()
+        assert error < 4.0 / np.sqrt(trials)
+
+    def test_compensation_identity(self, rng):
+        # Line 10: c_{t+1} = (update + c_t) - g_t, exactly.
+        m, d = 3, 50
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), m, d)
+        updates = [rng.standard_normal(d) for _ in range(m)]
+        old_comp = [c.copy() for c in sync.state.compensation]
+        report = sync.synchronize(ring_cluster(m), updates, 1)
+        for w in range(m):
+            expected = updates[w] + old_comp[w] - report.global_updates[w]
+            assert np.allclose(sync.state.compensation[w], expected, atol=1e-12)
+
+    def test_torus_consensus_and_one_bit(self, rng):
+        d = 1024
+        cluster = Cluster(torus_topology(2, 3))
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), 6, d)
+        report = sync.synchronize(
+            cluster, [rng.standard_normal(d) for _ in range(6)], 1
+        )
+        for update in report.global_updates[1:]:
+            assert np.array_equal(update, report.global_updates[0])
+        # Same volume as a flat ring at 1 bit/elem (allreduce-optimal).
+        assert cluster.total_bytes < 2 * 6 * d / 8
+
+    def test_torus_unbiased(self, rng):
+        d = 600
+        base = [rng.standard_normal(d) for _ in range(4)]
+        mean_sign = np.mean([np.where(b >= 0, 1.0, -1.0) for b in base], axis=0)
+        acc = np.zeros(d)
+        trials = 150
+        for trial in range(trials):
+            sync = MarsitSynchronizer(
+                MarsitConfig(global_lr=1.0, seed=trial), 4, d
+            )
+            cluster = Cluster(torus_topology(2, 2))
+            acc += sync.synchronize(cluster, [b.copy() for b in base], 1).global_updates[0]
+        assert np.abs(acc / trials - mean_sign).mean() < 4.0 / np.sqrt(trials)
+
+    def test_rejects_unsupported_topology(self, rng):
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), 3, 10)
+        with pytest.raises(ValueError):
+            sync.synchronize(
+                Cluster(star_topology(3)), [rng.standard_normal(10)] * 3, 1
+            )
+
+    def test_single_worker_signs_local(self, rng):
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.5), 1, 6)
+        vector = np.array([1.0, -2.0, 0.0, 3.0, -0.1, 5.0])
+        report = sync.synchronize(ring_cluster(1), [vector], 1)
+        assert np.array_equal(
+            report.global_updates[0], 0.5 * np.array([1, -1, 1, 1, -1, 1.0])
+        )
+
+    def test_compression_time_charged(self, rng):
+        m, d = 4, 4000
+        cluster = ring_cluster(m)
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), m, d)
+        sync.synchronize(cluster, [rng.standard_normal(d) for _ in range(m)], 1)
+        assert cluster.timeline.seconds[Phase.COMPRESSION] > 0
+
+
+class TestFullPrecisionSync:
+    def test_round_zero_is_full_precision(self, rng):
+        m, d = 3, 40
+        sync = MarsitSynchronizer(
+            MarsitConfig(global_lr=0.01, full_precision_every=10), m, d
+        )
+        updates = [rng.standard_normal(d) for _ in range(m)]
+        report = sync.synchronize(ring_cluster(m), updates, 0)
+        assert report.full_precision
+        assert report.bits_per_element == 32.0
+        assert np.allclose(
+            report.global_updates[0], np.mean(updates, axis=0), atol=1e-5
+        )
+
+    def test_compensation_reset(self, rng):
+        m, d = 3, 20
+        sync = MarsitSynchronizer(
+            MarsitConfig(global_lr=0.01, full_precision_every=2), m, d
+        )
+        updates = [rng.standard_normal(d) for _ in range(m)]
+        sync.synchronize(ring_cluster(m), updates, 1)  # one-bit: c != 0
+        assert any(np.abs(c).max() > 0 for c in sync.state.compensation)
+        sync.synchronize(ring_cluster(m), updates, 2)  # full precision
+        for c in sync.state.compensation:
+            assert np.allclose(c, 0.0)
+
+    def test_full_precision_includes_compensation(self, rng):
+        m, d = 2, 10
+        sync = MarsitSynchronizer(
+            MarsitConfig(global_lr=0.01, full_precision_every=2), m, d
+        )
+        updates1 = [rng.standard_normal(d) for _ in range(m)]
+        sync.synchronize(ring_cluster(m), updates1, 1)
+        comp = [c.copy() for c in sync.state.compensation]
+        updates2 = [rng.standard_normal(d) for _ in range(m)]
+        report = sync.synchronize(ring_cluster(m), updates2, 2)
+        expected = np.mean([updates2[w] + comp[w] for w in range(m)], axis=0)
+        assert np.allclose(report.global_updates[0], expected, atol=1e-5)
+
+
+class TestValidation:
+    def test_dimension_mismatch(self, rng):
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), 2, 10)
+        with pytest.raises(ValueError):
+            sync.synchronize(ring_cluster(2), [rng.standard_normal(9)] * 2, 1)
+
+    def test_worker_count_mismatch(self, rng):
+        sync = MarsitSynchronizer(MarsitConfig(global_lr=0.01), 2, 10)
+        with pytest.raises(ValueError):
+            sync.synchronize(ring_cluster(3), [rng.standard_normal(10)] * 3, 1)
+
+    def test_state_zeros(self):
+        state = MarsitState.zeros(3, 7)
+        assert len(state.compensation) == 3
+        assert all(c.shape == (7,) for c in state.compensation)

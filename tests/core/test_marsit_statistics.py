@@ -1,0 +1,92 @@
+"""Distributional properties of Marsit's one-bit estimate."""
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import Cluster
+from repro.comm.topology import ring_topology
+from repro.core.marsit import MarsitConfig, MarsitSynchronizer
+
+
+class TestOneBitDistribution:
+    def test_bit_probability_matches_worker_fraction(self):
+        # Construct 5 workers whose signs at coordinate j are +1 for exactly
+        # j of them: P(consensus bit = 1) must be j/5.
+        m, trials = 5, 3000
+        vectors = []
+        for worker in range(m):
+            # coordinate j is positive for workers < j
+            vector = np.array(
+                [1.0 if worker < j else -1.0 for j in range(m + 1)]
+            )
+            vectors.append(vector)
+        counts = np.zeros(m + 1)
+        for trial in range(trials):
+            sync = MarsitSynchronizer(
+                MarsitConfig(global_lr=1.0, seed=trial), m, m + 1
+            )
+            report = sync.synchronize(
+                Cluster(ring_topology(m)), [v.copy() for v in vectors], 1
+            )
+            counts += report.global_updates[0] > 0
+        empirical = counts / trials
+        expected = np.arange(m + 1) / m
+        assert np.abs(empirical - expected).max() < 4.0 / np.sqrt(trials)
+
+    def test_variance_matches_bernoulli(self):
+        # Var(update_j) = (2 eta)^2 p_j (1 - p_j) for the one-bit sample.
+        m, d, trials, eta = 4, 400, 800, 0.5
+        rng = np.random.default_rng(0)
+        vectors = [rng.standard_normal(d) for _ in range(m)]
+        fractions = np.mean([(v >= 0) for v in vectors], axis=0)
+        samples = np.empty((trials, d))
+        for trial in range(trials):
+            sync = MarsitSynchronizer(
+                MarsitConfig(global_lr=eta, seed=trial), m, d
+            )
+            samples[trial] = sync.synchronize(
+                Cluster(ring_topology(m)), [v.copy() for v in vectors], 1
+            ).global_updates[0]
+        empirical_var = samples.var(axis=0)
+        expected_var = (2 * eta) ** 2 * fractions * (1 - fractions)
+        # Average over coordinates to beat the per-coordinate noise.
+        assert empirical_var.mean() == pytest.approx(
+            expected_var.mean(), rel=0.1
+        )
+
+    def test_full_precision_round_bitwise_consensus(self, rng):
+        m, d = 4, 64
+        sync = MarsitSynchronizer(
+            MarsitConfig(global_lr=0.1, full_precision_every=1), m, d
+        )
+        report = sync.synchronize(
+            Cluster(ring_topology(m)),
+            [rng.standard_normal(d) for _ in range(m)],
+            0,
+        )
+        for update in report.global_updates[1:]:
+            assert np.array_equal(update, report.global_updates[0])
+
+    def test_same_seed_same_bits(self, rng):
+        m, d = 3, 128
+        vectors = [rng.standard_normal(d) for _ in range(m)]
+
+        def run():
+            sync = MarsitSynchronizer(MarsitConfig(global_lr=1.0, seed=42), m, d)
+            return sync.synchronize(
+                Cluster(ring_topology(m)), [v.copy() for v in vectors], 1
+            ).global_updates[0]
+
+        assert np.array_equal(run(), run())
+
+    def test_different_seeds_differ(self, rng):
+        m, d = 3, 512
+        vectors = [rng.standard_normal(d) for _ in range(m)]
+
+        def run(seed):
+            sync = MarsitSynchronizer(MarsitConfig(global_lr=1.0, seed=seed), m, d)
+            return sync.synchronize(
+                Cluster(ring_topology(m)), [v.copy() for v in vectors], 1
+            ).global_updates[0]
+
+        assert not np.array_equal(run(1), run(2))

@@ -1,0 +1,253 @@
+"""Tests for synthetic datasets and sharding."""
+
+import numpy as np
+import pytest
+
+from repro.data.sharding import WorkerBatchIterator, shard_iid, train_test_split
+from repro.data.synthetic import (
+    ArrayDataset,
+    cifar10_like,
+    imagenet_like,
+    make_image_dataset,
+    mnist_like,
+)
+from repro.data.text import imdb_like
+
+
+class TestArrayDataset:
+    def test_length_and_subset(self, rng):
+        data = ArrayDataset(x=rng.standard_normal((10, 2)), y=np.zeros(10, dtype=int),
+                            num_classes=2)
+        sub = data.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(x=rng.standard_normal((3, 2)), y=np.zeros(2, dtype=int),
+                         num_classes=2)
+
+    def test_rejects_bad_labels(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(x=rng.standard_normal((2, 2)), y=np.array([0, 5]),
+                         num_classes=2)
+
+
+class TestImageDatasets:
+    def test_shapes(self):
+        data = mnist_like(num_samples=100, size=8)
+        assert data.x.shape == (100, 1, 8, 8)
+        assert data.num_classes == 10
+
+    def test_cifar_channels(self):
+        data = cifar10_like(num_samples=50, size=16)
+        assert data.x.shape == (50, 3, 16, 16)
+
+    def test_imagenet_classes(self):
+        data = imagenet_like(num_samples=60, num_classes=20)
+        assert data.num_classes == 20
+        assert set(np.unique(data.y)).issubset(range(20))
+
+    def test_deterministic_per_seed(self):
+        a = mnist_like(num_samples=20, seed=5)
+        b = mnist_like(num_samples=20, seed=5)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = mnist_like(num_samples=20, seed=5)
+        b = mnist_like(num_samples=20, seed=6)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_classes_are_separable(self):
+        # A nearest-class-prototype classifier should beat chance easily —
+        # the datasets must carry learnable signal.
+        data = make_image_dataset(
+            num_samples=400, num_classes=4, channels=1, size=8, noise=0.5, seed=0
+        )
+        flat = data.x.reshape(len(data), -1)
+        centroids = np.stack(
+            [flat[data.y == c].mean(axis=0) for c in range(4)]
+        )
+        distances = ((flat[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        accuracy = (distances.argmin(axis=1) == data.y).mean()
+        assert accuracy > 0.8
+
+    def test_noise_reduces_separability(self):
+        def centroid_accuracy(noise):
+            data = make_image_dataset(
+                num_samples=400, num_classes=4, channels=1, size=8,
+                noise=noise, seed=0,
+            )
+            flat = data.x.reshape(len(data), -1)
+            centroids = np.stack(
+                [flat[data.y == c].mean(axis=0) for c in range(4)]
+            )
+            distances = ((flat[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+            return (distances.argmin(axis=1) == data.y).mean()
+
+        assert centroid_accuracy(3.0) < centroid_accuracy(0.3)
+
+
+class TestTextDataset:
+    def test_shapes_and_ranges(self):
+        data = imdb_like(num_samples=100, seq_len=12, vocab_size=64)
+        assert data.x.shape == (100, 12)
+        assert data.x.min() >= 0 and data.x.max() < 64
+        assert set(np.unique(data.y)).issubset({0, 1})
+
+    def test_sentiment_words_correlate_with_labels(self):
+        data = imdb_like(num_samples=500, sentiment_words=10, label_noise=0.0,
+                         crosstalk=0.0, seed=1)
+        positive = set(range(2, 12))
+        pos_counts = np.array([
+            len(positive.intersection(row)) for row in data.x
+        ])
+        assert pos_counts[data.y == 1].mean() > pos_counts[data.y == 0].mean()
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError):
+            imdb_like(vocab_size=10, sentiment_words=10)
+
+    def test_label_noise_flips_some(self):
+        clean = imdb_like(num_samples=300, label_noise=0.0, seed=2)
+        noisy = imdb_like(num_samples=300, label_noise=0.3, seed=2)
+        assert (clean.y != noisy.y).mean() == pytest.approx(0.3, abs=0.07)
+
+
+class TestSharding:
+    def test_split_fractions(self):
+        data = mnist_like(num_samples=100)
+        train, test = train_test_split(data, 0.2, seed=0)
+        assert len(train) == 80 and len(test) == 20
+
+    def test_split_disjoint(self):
+        data = mnist_like(num_samples=50)
+        data_ids = data.x[:, 0, 0, 0]  # unique-ish floats as identifiers
+        train, test = train_test_split(data, 0.5, seed=0)
+        assert not set(train.x[:, 0, 0, 0]).intersection(test.x[:, 0, 0, 0])
+
+    def test_shards_equal_size(self):
+        data = mnist_like(num_samples=103)
+        shards = shard_iid(data, 4, seed=0)
+        assert all(len(s) == 25 for s in shards)
+
+    def test_shards_disjoint(self):
+        data = mnist_like(num_samples=40)
+        shards = shard_iid(data, 4, seed=0)
+        ids = [frozenset(s.x[:, 0, 0, 0]) for s in shards]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not ids[i].intersection(ids[j])
+
+    def test_rejects_oversharding(self):
+        with pytest.raises(ValueError):
+            shard_iid(mnist_like(num_samples=3), 10)
+
+
+class TestBatchIterator:
+    def test_batch_shapes(self):
+        data = mnist_like(num_samples=64)
+        iterator = WorkerBatchIterator(data, batch_size=16, seed=0)
+        x, y = iterator.next_batch()
+        assert x.shape[0] == 16 and y.shape == (16,)
+
+    def test_epoch_covers_all_samples(self):
+        data = mnist_like(num_samples=32)
+        iterator = WorkerBatchIterator(data, batch_size=8, seed=0)
+        seen = []
+        for _ in range(4):
+            x, _ = iterator.next_batch()
+            seen.extend(x[:, 0, 0, 0].tolist())
+        assert len(set(seen)) == 32
+
+    def test_epoch_counter(self):
+        data = mnist_like(num_samples=32)
+        iterator = WorkerBatchIterator(data, batch_size=8, seed=0)
+        for _ in range(5):
+            iterator.next_batch()
+        assert iterator.epochs_completed == 1
+
+    def test_seeded_determinism(self):
+        data = mnist_like(num_samples=32)
+        a = WorkerBatchIterator(data, 8, seed=3)
+        b = WorkerBatchIterator(data, 8, seed=3)
+        xa, _ = a.next_batch()
+        xb, _ = b.next_batch()
+        assert np.array_equal(xa, xb)
+
+    def test_rejects_oversized_batch(self):
+        data = mnist_like(num_samples=8)
+        with pytest.raises(ValueError):
+            WorkerBatchIterator(data, 16, seed=0)
+
+
+class TestDirichletSharding:
+    def test_covers_all_samples_once(self):
+        from repro.data import shard_dirichlet
+
+        data = mnist_like(num_samples=400)
+        shards = shard_dirichlet(data, 4, alpha=0.5, seed=0)
+        total = sum(len(s) for s in shards)
+        assert total == 400
+        ids = np.concatenate([s.x[:, 0, 0, 0] for s in shards])
+        assert len(np.unique(ids)) == len(np.unique(data.x[:, 0, 0, 0]))
+
+    def test_small_alpha_skews_labels(self):
+        from repro.data import shard_dirichlet, shard_iid
+
+        data = mnist_like(num_samples=1000)
+
+        def label_skew(shards):
+            skews = []
+            for shard in shards:
+                counts = np.bincount(shard.y, minlength=10) / len(shard)
+                skews.append(counts.max())
+            return float(np.mean(skews))
+
+        skewed = label_skew(shard_dirichlet(data, 4, alpha=0.1, seed=0))
+        iid = label_skew(shard_iid(data, 4, seed=0))
+        assert skewed > iid + 0.15
+
+    def test_min_per_worker_enforced(self):
+        from repro.data import shard_dirichlet
+
+        data = mnist_like(num_samples=400)
+        shards = shard_dirichlet(data, 4, alpha=0.3, seed=1, min_per_worker=20)
+        assert all(len(s) >= 20 for s in shards)
+
+    def test_rejects_bad_alpha(self):
+        from repro.data import shard_dirichlet
+
+        with pytest.raises(ValueError):
+            shard_dirichlet(mnist_like(num_samples=100), 2, alpha=0.0)
+
+
+class TestAugmentation:
+    def test_augment_preserves_shapes_and_labels(self):
+        data = mnist_like(num_samples=64)
+        iterator = WorkerBatchIterator(data, batch_size=16, seed=0, augment=True)
+        x, y = iterator.next_batch()
+        assert x.shape == (16, 1, 8, 8)
+        assert y.shape == (16,)
+
+    def test_augment_changes_some_images(self):
+        data = mnist_like(num_samples=64)
+        plain = WorkerBatchIterator(data, 16, seed=0)
+        augmented = WorkerBatchIterator(data, 16, seed=0, augment=True)
+        xp, _ = plain.next_batch()
+        xa, _ = augmented.next_batch()
+        assert not np.array_equal(xp, xa)
+
+    def test_augment_preserves_pixel_multiset(self):
+        # flips and rolls permute pixels; values survive exactly
+        data = mnist_like(num_samples=32)
+        iterator = WorkerBatchIterator(data, 32, seed=1, augment=True)
+        x, _ = iterator.next_batch()
+        original = data.x[iterator._order[:32]]
+        assert np.allclose(np.sort(x.reshape(32, -1), axis=1),
+                           np.sort(original.reshape(32, -1), axis=1))
+
+    def test_augment_rejected_for_text(self):
+        data = imdb_like(num_samples=50)
+        with pytest.raises(ValueError):
+            WorkerBatchIterator(data, 16, seed=0, augment=True)

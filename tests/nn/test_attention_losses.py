@@ -1,0 +1,133 @@
+"""Tests for attention blocks and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoderBlock
+from repro.nn.losses import CrossEntropyLoss, MSELoss, log_softmax, softmax
+from tests.nn.gradcheck import check_input_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 7)))
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.standard_normal((3, 4))
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)))
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_loss_is_log_k(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        targets = np.arange(4) % 10
+        assert loss_fn(logits, targets) == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert loss_fn(logits, np.array([1, 2])) < 1e-6
+
+    def test_gradient_matches_probs_minus_onehot(self, rng):
+        loss_fn = CrossEntropyLoss()
+        logits = rng.standard_normal((3, 4))
+        targets = np.array([0, 2, 1])
+        loss_fn(logits, targets)
+        grad = loss_fn.backward()
+        probs = softmax(logits)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(3), targets] = 1.0
+        assert np.allclose(grad, (probs - onehot) / 3)
+
+    def test_finite_difference(self, rng):
+        loss_fn = CrossEntropyLoss()
+        logits = rng.standard_normal((2, 3))
+        targets = np.array([1, 0])
+        loss_fn(logits, targets)
+        grad = loss_fn.backward()
+        eps = 1e-6
+        for i in range(2):
+            for j in range(3):
+                perturbed = logits.copy()
+                perturbed[i, j] += eps
+                plus = loss_fn(perturbed, targets)
+                perturbed[i, j] -= 2 * eps
+                minus = loss_fn(perturbed, targets)
+                assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-6)
+
+    def test_rejects_bad_labels(self, rng):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(rng.standard_normal((2, 3)), np.array([0, 5]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+
+class TestMSE:
+    def test_value(self):
+        loss_fn = MSELoss()
+        assert loss_fn(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+    def test_gradient(self, rng):
+        loss_fn = MSELoss()
+        pred = rng.standard_normal(6)
+        target = rng.standard_normal(6)
+        loss_fn(pred, target)
+        assert np.allclose(loss_fn.backward(), 2 * (pred - target) / 6)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros(3), np.zeros(4))
+
+
+class TestMultiHeadAttention:
+    def test_forward_shape(self, rng):
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, rng=rng)
+        assert attn(rng.standard_normal((2, 5, 8))).shape == (2, 5, 8)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=7, num_heads=2)
+
+    def test_input_gradient(self, rng):
+        attn = MultiHeadSelfAttention(dim=6, num_heads=2, rng=rng)
+        check_input_gradient(
+            attn, rng.standard_normal((2, 4, 6)), tolerance=1e-4
+        )
+
+    def test_permutation_equivariance(self, rng):
+        # Self-attention without positions is equivariant to token order.
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, rng=rng)
+        x = rng.standard_normal((1, 5, 8))
+        perm = np.array([3, 1, 4, 0, 2])
+        out = attn(x)
+        out_perm = attn(x[:, perm])
+        assert np.allclose(out[:, perm], out_perm, atol=1e-10)
+
+
+class TestEncoderBlock:
+    def test_forward_shape(self, rng):
+        block = TransformerEncoderBlock(dim=8, num_heads=2, ffn_dim=16, rng=rng)
+        assert block(rng.standard_normal((2, 4, 8))).shape == (2, 4, 8)
+
+    def test_input_gradient(self, rng):
+        block = TransformerEncoderBlock(dim=6, num_heads=2, ffn_dim=10, rng=rng)
+        check_input_gradient(
+            block, rng.standard_normal((1, 3, 6)), tolerance=1e-4
+        )
+
+    def test_residual_path_dominates_at_zero_weights(self, rng):
+        block = TransformerEncoderBlock(dim=4, num_heads=1, ffn_dim=4, rng=rng)
+        for param in block.parameters():
+            param.data[...] = 0.0
+        x = rng.standard_normal((1, 3, 4))
+        assert np.allclose(block(x), x)  # both branches output zero

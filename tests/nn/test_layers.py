@@ -1,0 +1,253 @@
+"""Per-layer forward shape and gradient tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from tests.nn.gradcheck import check_input_gradient
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        assert layer(rng.standard_normal((3, 4))).shape == (3, 7)
+
+    def test_forward_value(self):
+        layer = Linear(2, 1)
+        layer.weight.data[...] = [[2.0, 3.0]]
+        layer.bias.data[...] = [1.0]
+        out = layer(np.array([[1.0, 1.0]]))
+        assert out[0, 0] == pytest.approx(6.0)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(Linear(5, 3, rng=rng), rng.standard_normal((4, 5)))
+
+    def test_weight_gradient_accumulates(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((2, 3))
+        layer.backward(np.ones_like(layer(x)))
+        first = layer.weight.grad.copy()
+        layer.backward(np.ones_like(layer(x)))
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.standard_normal((2, 5, 4))
+        out = layer(x)
+        assert out.shape == (2, 5, 2)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert len(layer.parameters()) == 1
+
+    def test_double_backward_raises(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        layer.backward(np.ones_like(layer(rng.standard_normal((1, 2)))))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+
+class TestConv2d:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, padding=1, rng=rng)
+        assert layer(rng.standard_normal((2, 3, 6, 6))).shape == (2, 8, 6, 6)
+
+    def test_stride_shape(self, rng):
+        layer = Conv2d(2, 4, kernel_size=3, stride=2, padding=1, rng=rng)
+        assert layer(rng.standard_normal((1, 2, 8, 8))).shape == (1, 4, 4, 4)
+
+    def test_matches_manual_convolution(self):
+        layer = Conv2d(1, 1, kernel_size=2, bias=False)
+        layer.weight.data[...] = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = layer(x)
+        # top-left window [0,1;3,4] . [1,2;3,4] = 0+2+9+16 = 27
+        assert out[0, 0, 0, 0] == pytest.approx(27.0)
+
+    def test_input_gradient(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=rng)
+        check_input_gradient(layer, rng.standard_normal((2, 2, 5, 5)))
+
+    def test_input_gradient_strided_no_padding(self, rng):
+        layer = Conv2d(1, 2, kernel_size=2, stride=2, rng=rng)
+        check_input_gradient(layer, rng.standard_normal((1, 1, 6, 6)))
+
+    def test_flops_positive(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, padding=1, rng=rng)
+        assert layer.flops_per_example(16, 16) > 0
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert pool(x)[0, 0, 0, 0] == 4.0
+
+    def test_maxpool_routes_gradient_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool(x)
+        grad = pool.backward(np.array([[[[7.0]]]]))
+        assert grad[0, 0, 1, 1] == 7.0
+        assert grad.sum() == 7.0
+
+    def test_maxpool_input_gradient(self, rng):
+        # Use distinct values so argmax is stable under small perturbation.
+        x = rng.permutation(64).astype(np.float64).reshape(1, 1, 8, 8)
+        check_input_gradient(MaxPool2d(2), x)
+
+    def test_avgpool_forward(self):
+        pool = AvgPool2d()
+        x = np.arange(8.0).reshape(1, 2, 2, 2)
+        out = pool(x)
+        assert out.shape == (1, 2)
+        assert out[0, 0] == pytest.approx(1.5)
+
+    def test_avgpool_backward_spreads_evenly(self):
+        pool = AvgPool2d()
+        x = np.zeros((1, 1, 2, 2))
+        pool(x)
+        grad = pool.backward(np.array([[4.0]]))
+        assert np.allclose(grad, 1.0)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, GELU])
+    def test_input_gradient(self, cls, rng):
+        check_input_gradient(cls(), rng.standard_normal((3, 5)) + 0.1)
+
+    def test_relu_zeroes_negatives(self):
+        relu = ReLU()
+        assert np.array_equal(relu(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_gelu_reference_values(self):
+        gelu = GELU()
+        # GELU(0) = 0; GELU(large) ~ identity; GELU(-large) ~ 0.
+        out = gelu(np.array([0.0, 10.0, -10.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(10.0, abs=1e-3)
+        assert out[2] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = rng.standard_normal((4, 4))
+        assert np.array_equal(layer(x), x)
+
+    def test_train_mode_preserves_expectation(self):
+        layer = Dropout(0.3, seed=0)
+        x = np.ones((200, 200))
+        out = layer(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_mask_applied_in_backward(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((10, 10))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self, rng):
+        layer = BatchNorm1d(4)
+        x = rng.standard_normal((64, 4)) * 3 + 5
+        out = layer(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_in_eval(self, rng):
+        layer = BatchNorm1d(3, momentum=0.0)  # running = last batch stats
+        x = rng.standard_normal((128, 3)) * 2 + 1
+        layer(x)
+        layer.eval()
+        out = layer(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+    def test_2d_shapes(self, rng):
+        layer = BatchNorm2d(5)
+        x = rng.standard_normal((2, 5, 4, 4))
+        assert layer(x).shape == x.shape
+
+    def test_input_gradient_1d(self, rng):
+        check_input_gradient(
+            BatchNorm1d(4), rng.standard_normal((8, 4)), tolerance=1e-4
+        )
+
+    def test_input_gradient_2d(self, rng):
+        check_input_gradient(
+            BatchNorm2d(2), rng.standard_normal((3, 2, 4, 4)), tolerance=1e-4
+        )
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = LayerNorm(8)
+        out = layer(rng.standard_normal((4, 8)) * 5 + 2)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(
+            LayerNorm(6), rng.standard_normal((3, 4, 6)), tolerance=1e-4
+        )
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        out = layer(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[0, 0], layer.weight.data[1])
+
+    def test_gradient_accumulates_at_indices(self):
+        layer = Embedding(5, 2)
+        tokens = np.array([[0, 0, 1]])
+        out = layer(tokens)
+        layer.backward(np.ones_like(out))
+        assert np.allclose(layer.weight.grad[0], 2.0)  # token 0 twice
+        assert np.allclose(layer.weight.grad[1], 1.0)
+        assert np.allclose(layer.weight.grad[2], 0.0)
+
+    def test_rejects_out_of_vocab(self):
+        layer = Embedding(5, 2)
+        with pytest.raises(ValueError):
+            layer(np.array([[7]]))
+
+
+class TestFlattenSequential:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4))
+        out = layer(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == x.shape
+
+    def test_sequential_backward_order(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 1, rng=rng))
+        x = rng.standard_normal((3, 4))
+        out = model(x)
+        grad_in = model.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape

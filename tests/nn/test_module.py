@@ -1,0 +1,113 @@
+"""Tests for Parameter/Module machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_grad_initialized_zero(self):
+        param = Parameter(np.ones((2, 3)))
+        assert param.grad.shape == (2, 3)
+        assert np.allclose(param.grad, 0.0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(4))
+        param.grad += 5.0
+        param.zero_grad()
+        assert np.allclose(param.grad, 0.0)
+
+
+class TestRegistration:
+    def test_parameters_in_assignment_order(self):
+        class Custom(Module):
+            def __init__(self):
+                super().__init__()
+                self.b = Parameter(np.zeros(2))
+                self.a = Parameter(np.zeros(3))
+
+        custom = Custom()
+        params = custom.parameters()
+        assert params[0].shape == (2,)
+        assert params[1].shape == (3,)
+
+    def test_children_recursion(self):
+        model = Sequential(Linear(4, 3), ReLU(), Linear(3, 2))
+        # Linear(4,3): weight+bias; Linear(3,2): weight+bias.
+        assert len(model.parameters()) == 4
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_named_parameters_paths(self):
+        model = Sequential(Linear(2, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["layer_0.weight", "layer_0.bias"]
+
+    def test_modules_list(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        assert len(model.modules()) == 3  # sequential + 2 layers
+
+
+class TestFlatViews:
+    def test_flatten_set_roundtrip(self, rng):
+        model = Sequential(Linear(5, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        flat = model.flatten_params()
+        model.set_flat_params(np.zeros_like(flat))
+        assert np.allclose(model.flatten_params(), 0.0)
+        model.set_flat_params(flat)
+        assert np.allclose(model.flatten_params(), flat)
+
+    def test_flatten_grads_layout_matches_params(self, rng):
+        model = Sequential(Linear(3, 2, rng=rng))
+        x = rng.standard_normal((4, 3))
+        out = model(x)
+        model.backward(np.ones_like(out))
+        grads = model.flatten_grads()
+        assert grads.size == model.num_parameters()
+        # bias grad occupies the last 2 slots and equals column sums of ones
+        assert np.allclose(grads[-2:], 4.0)
+
+    def test_add_flat_update(self, rng):
+        model = Sequential(Linear(3, 2, rng=rng))
+        before = model.flatten_params()
+        delta = rng.standard_normal(before.size)
+        model.add_flat_update(delta, scale=-0.5)
+        assert np.allclose(model.flatten_params(), before - 0.5 * delta)
+
+    def test_set_flat_rejects_wrong_size(self):
+        model = Sequential(Linear(2, 2))
+        with pytest.raises(ValueError):
+            model.set_flat_params(np.zeros(3))
+
+    def test_zero_grad_recursive(self, rng):
+        model = Sequential(Linear(3, 3, rng=rng), ReLU(), Linear(3, 1, rng=rng))
+        x = rng.standard_normal((2, 3))
+        model.backward(np.ones_like(model(x)))
+        assert np.abs(model.flatten_grads()).max() > 0
+        model.zero_grad()
+        assert np.allclose(model.flatten_grads(), 0.0)
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestStateCopy:
+    def test_copy_state_from(self, rng):
+        a = Sequential(Linear(4, 3, rng=np.random.default_rng(1)))
+        b = Sequential(Linear(4, 3, rng=np.random.default_rng(2)))
+        assert not np.allclose(a.flatten_params(), b.flatten_params())
+        b.copy_state_from(a)
+        assert np.allclose(a.flatten_params(), b.flatten_params())
+
+    def test_copy_rejects_mismatched_architecture(self):
+        a = Sequential(Linear(4, 3))
+        b = Sequential(Linear(4, 3), Linear(3, 2))
+        with pytest.raises(ValueError):
+            b.copy_state_from(a)

@@ -1,0 +1,111 @@
+"""Tests for the standalone single-model optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.losses import MSELoss
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = quadratic_param()
+        optimizer = SGD([param], lr=0.1)
+        param.grad[...] = 2.0
+        optimizer.step()
+        assert param.data[0] == pytest.approx(5.0 - 0.2)
+
+    def test_momentum_accumulates(self):
+        param = quadratic_param(0.0)
+        optimizer = SGD([param], lr=1.0, momentum=0.5)
+        for expected in (-1.0, -2.5, -4.25):
+            param.grad[...] = 1.0
+            optimizer.step()
+            assert param.data[0] == pytest.approx(expected)
+
+    def test_weight_decay_shrinks(self):
+        param = quadratic_param(10.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad[...] = 0.0
+        optimizer.step()
+        assert param.data[0] == pytest.approx(10.0 * 0.95)
+
+    def test_minimizes_quadratic(self):
+        param = quadratic_param(3.0)
+        optimizer = SGD([param], lr=0.2, momentum=0.5)
+        for _ in range(80):
+            param.grad[...] = 2 * param.data  # d/dx x^2
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        param = quadratic_param(0.0)
+        optimizer = Adam([param], lr=0.01)
+        param.grad[...] = 5.0
+        optimizer.step()
+        # Bias-corrected first step ~ lr regardless of gradient scale.
+        assert param.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_minimizes_quadratic(self):
+        param = quadratic_param(3.0)
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            param.grad[...] = 2 * param.data
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-2
+
+    def test_trains_a_small_network(self, rng):
+        model = Sequential(Linear(3, 8, rng=rng), ReLU(), Linear(8, 1, rng=rng))
+        optimizer = Adam(model.parameters(), lr=0.01)
+        loss_fn = MSELoss()
+        x = rng.standard_normal((64, 3))
+        target = (x.sum(axis=1, keepdims=True) > 0).astype(float)
+        first_loss = None
+        for _ in range(150):
+            model.zero_grad()
+            loss = loss_fn(model(x), target)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(loss_fn.backward())
+            optimizer.step()
+        assert loss < 0.3 * first_loss
+
+    def test_zero_grad(self):
+        param = quadratic_param()
+        optimizer = Adam([param], lr=0.1)
+        param.grad[...] = 3.0
+        optimizer.zero_grad()
+        assert param.grad[0] == 0.0
+
+
+class TestResultSerialization:
+    def test_to_json_roundtrip(self, tmp_path):
+        import json
+
+        from repro.train.metrics import RoundRecord, TrainResult
+
+        result = TrainResult(strategy_name="demo")
+        result.history = [RoundRecord(0, 0.1, 100, 2.0, 0.5, 1.9, 1.0)]
+        result.final_accuracy = 0.5
+        path = tmp_path / "run.json"
+        result.to_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["strategy"] == "demo"
+        assert loaded["history"][0]["test_accuracy"] == 0.5
+        assert loaded["best_accuracy"] == 0.5

@@ -1,0 +1,133 @@
+"""Tests for the model zoo: shapes, parameter counts, full gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.zoo import (
+    alexnet_mini,
+    distilbert_mini,
+    mlp,
+    resnet18_mini,
+    resnet20,
+    resnet50_mini,
+)
+from tests.nn.gradcheck import check_model_gradients
+
+
+@pytest.fixture
+def loss_fn():
+    return CrossEntropyLoss()
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        model = mlp(12, hidden=(8,), num_classes=3)
+        assert model(rng.standard_normal((5, 12))).shape == (5, 3)
+
+    def test_gradients(self, rng, loss_fn):
+        model = mlp(12, hidden=(6,), num_classes=3, seed=1)
+        x = rng.standard_normal((4, 12))
+        y = rng.integers(0, 3, 4)
+        check_model_gradients(model, x, y, loss_fn, tolerance=1e-5)
+
+    def test_deterministic_init(self):
+        a, b = mlp(8, seed=3), mlp(8, seed=3)
+        assert np.allclose(a.flatten_params(), b.flatten_params())
+
+    def test_flops_attached(self):
+        assert mlp(8).flops_per_example > 0
+
+
+class TestAlexNetMini:
+    def test_forward_shape(self, rng):
+        model = alexnet_mini(in_channels=3, image_size=16, num_classes=10, width=4)
+        assert model(rng.standard_normal((2, 3, 16, 16))).shape == (2, 10)
+
+    def test_gradients_without_dropout(self, rng, loss_fn):
+        model = alexnet_mini(in_channels=2, image_size=8, num_classes=3, width=4)
+        for module in model.modules():
+            if module.__class__.__name__ == "Dropout":
+                module.p = 0.0
+        x = rng.standard_normal((3, 2, 8, 8))
+        y = rng.integers(0, 3, 3)
+        check_model_gradients(model, x, y, loss_fn, num_probes=15, tolerance=1e-5)
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            alexnet_mini(image_size=10)
+
+
+class TestResNets:
+    def test_resnet20_param_count_matches_paper(self):
+        # The paper lists ResNet-20 at 0.27M parameters (Table 2).
+        count = resnet20().num_parameters()
+        assert 0.25e6 < count < 0.30e6
+
+    def test_resnet20_forward(self, rng):
+        model = resnet20(in_channels=3, image_size=12, num_classes=10)
+        assert model(rng.standard_normal((2, 3, 12, 12))).shape == (2, 10)
+
+    def test_resnet18_gradients(self, rng, loss_fn):
+        model = resnet18_mini(in_channels=2, image_size=8, num_classes=3, seed=2)
+        x = rng.standard_normal((4, 2, 8, 8))
+        y = rng.integers(0, 3, 4)
+        check_model_gradients(model, x, y, loss_fn, num_probes=15, tolerance=1e-4)
+
+    def test_resnet50_gradients(self, rng, loss_fn):
+        model = resnet50_mini(in_channels=2, image_size=8, num_classes=3, seed=2)
+        x = rng.standard_normal((4, 2, 8, 8))
+        y = rng.integers(0, 3, 4)
+        check_model_gradients(model, x, y, loss_fn, num_probes=15, tolerance=1e-4)
+
+    def test_bottleneck_expansion(self):
+        from repro.nn.zoo.resnet import BottleneckBlock
+
+        block = BottleneckBlock(8, 4, stride=1, rng=np.random.default_rng(0))
+        assert block.out_channels == 16
+
+    def test_projection_shortcut_on_stride(self, rng):
+        from repro.nn.zoo.resnet import BasicBlock
+
+        block = BasicBlock(4, 8, stride=2, rng=rng)
+        assert block.has_projection
+        out = block(rng.standard_normal((1, 4, 8, 8)))
+        assert out.shape == (1, 8, 4, 4)
+
+
+class TestDistilBert:
+    def test_forward_shape(self, rng):
+        model = distilbert_mini(vocab_size=30, max_len=8, dim=16, num_heads=2,
+                                num_layers=1, ffn_dim=24, num_classes=2)
+        tokens = rng.integers(0, 30, (3, 8))
+        assert model(tokens).shape == (3, 2)
+
+    def test_shorter_sequences_allowed(self, rng):
+        model = distilbert_mini(vocab_size=30, max_len=8)
+        tokens = rng.integers(0, 30, (2, 5))
+        assert model(tokens).shape == (2, 2)
+
+    def test_too_long_sequence_rejected(self, rng):
+        model = distilbert_mini(vocab_size=30, max_len=4)
+        with pytest.raises(ValueError):
+            model(rng.integers(0, 30, (1, 6)))
+
+    def test_gradients(self, rng, loss_fn):
+        model = distilbert_mini(
+            vocab_size=20, max_len=6, dim=8, num_heads=2, num_layers=1,
+            ffn_dim=12, num_classes=2, seed=5,
+        )
+        tokens = rng.integers(0, 20, (3, 6))
+        y = rng.integers(0, 2, 3)
+        check_model_gradients(
+            model, tokens, y, loss_fn, num_probes=25, tolerance=1e-4
+        )
+
+    def test_position_embedding_gets_gradient(self, rng, loss_fn):
+        model = distilbert_mini(vocab_size=20, max_len=6, dim=8, num_heads=2,
+                                num_layers=1, ffn_dim=12)
+        tokens = rng.integers(0, 20, (2, 6))
+        model.zero_grad()
+        loss_fn(model(tokens), np.array([0, 1]))
+        model.backward(loss_fn.backward())
+        assert np.abs(model.position_embedding.grad).max() > 0

@@ -1,0 +1,26 @@
+"""Documentation stays executable: run every python block in the docs."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _python_blocks(path: pathlib.Path) -> list[str]:
+    text = path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+@pytest.mark.parametrize("doc", ["docs/tutorial.md", "README.md"])
+def test_doc_code_blocks_execute(doc):
+    path = ROOT / doc
+    blocks = _python_blocks(path)
+    assert blocks, f"{doc} has no python blocks?"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(block, namespace)  # noqa: S102 - executing our own docs
+        except Exception as error:  # pragma: no cover - failure reporting
+            pytest.fail(f"{doc} block {index} failed: {error!r}\n{block}")

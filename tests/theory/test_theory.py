@@ -1,0 +1,135 @@
+"""Tests for bound evaluators, deviation measurement, and matching rate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.bounds import (
+    cascading_deviation_bound,
+    marsit_convergence_bound,
+    ps_deviation_bound,
+    recommended_learning_rates,
+)
+from repro.theory.deviation import (
+    cascading_deviation,
+    empirical_deviation,
+    ps_compression_deviation,
+)
+from repro.theory.matching import matching_rate, sign_cosine
+
+
+class TestBounds:
+    def test_ps_bound_formula(self):
+        assert ps_deviation_bound(100, 2.0) == 400.0
+
+    def test_cascading_bound_explodes_with_m(self):
+        values = [cascading_deviation_bound(64, m, 1.0) for m in (1, 2, 3, 4)]
+        assert values == sorted(values)
+        assert values[3] / values[1] > 1e3
+
+    def test_cascading_bound_overflow_is_inf(self):
+        assert cascading_deviation_bound(10**6, 100, 1.0) == math.inf
+
+    def test_cascading_equals_ps_at_m1_up_to_factor_2(self):
+        # At M=1 the theorem bounds coincide modulo the 2^M constant.
+        assert cascading_deviation_bound(50, 1, 3.0) == pytest.approx(
+            2 * ps_deviation_bound(50, 3.0)
+        )
+
+    def test_recommended_rates(self):
+        rates = recommended_learning_rates(num_workers=4, rounds=100, dimension=25)
+        assert rates.local_lr == pytest.approx(0.2)
+        assert rates.global_lr == pytest.approx(0.02)
+
+    def test_marsit_bound_linear_speedup(self):
+        # Quadrupling M halves the first term (K = 0 kills the second).
+        b1 = marsit_convergence_bound(1, 10_000, 0)
+        b4 = marsit_convergence_bound(4, 10_000, 0)
+        assert b4 == pytest.approx(b1 / 2)
+
+    def test_marsit_bound_k_penalty(self):
+        small_k = marsit_convergence_bound(4, 10_000, 5)
+        large_k = marsit_convergence_bound(4, 10_000, 50)
+        assert large_k > small_k
+
+    def test_bounds_reject_bad_args(self):
+        with pytest.raises(ValueError):
+            ps_deviation_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            cascading_deviation_bound(10, 0, 1.0)
+        with pytest.raises(ValueError):
+            recommended_learning_rates(0, 1, 1)
+
+
+class TestDeviation:
+    def test_empirical_deviation(self):
+        assert empirical_deviation(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == 5.0
+
+    def test_ps_deviation_within_theorem_bound(self, rng):
+        d, m, trials = 32, 4, 50
+        gradients = [rng.standard_normal(d) for _ in range(m)]
+        g_bound = max(np.linalg.norm(g) for g in gradients)
+        bound = ps_deviation_bound(d, g_bound)
+        values = [
+            ps_compression_deviation(gradients, np.random.default_rng(t))
+            for t in range(trials)
+        ]
+        assert max(values) <= bound
+
+    def test_cascading_deviation_grows_with_m(self, rng):
+        d = 32
+        base = [rng.standard_normal(d) for _ in range(8)]
+
+        def mean_dev(m):
+            return np.mean([
+                cascading_deviation(base[:m], np.random.default_rng(t))
+                for t in range(30)
+            ])
+
+        assert mean_dev(8) > mean_dev(2) > 0
+
+    def test_cascading_worse_than_ps(self, rng):
+        d, m = 64, 6
+        gradients = [rng.standard_normal(d) for _ in range(m)]
+        ps_values = [
+            ps_compression_deviation(gradients, np.random.default_rng(t))
+            for t in range(20)
+        ]
+        cascade_values = [
+            cascading_deviation(gradients, np.random.default_rng(t))
+            for t in range(20)
+        ]
+        assert np.mean(cascade_values) > np.mean(ps_values)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            cascading_deviation([], rng)
+
+
+class TestMatching:
+    def test_perfect_match(self, rng):
+        vector = rng.standard_normal(50)
+        assert matching_rate(vector, vector) == 1.0
+
+    def test_opposite_signs(self, rng):
+        vector = rng.standard_normal(50) + 10.0
+        assert matching_rate(-vector, vector) == 0.0
+
+    def test_random_near_half(self, rng):
+        a = rng.standard_normal(20_000)
+        b = rng.standard_normal(20_000)
+        assert matching_rate(a, b) == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_convention(self):
+        assert matching_rate(np.array([0.0]), np.array([1.0])) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            matching_rate(np.array([]), np.array([]))
+
+    def test_sign_cosine_bounds(self, rng):
+        a = rng.standard_normal(30)
+        assert sign_cosine(a, a) == pytest.approx(1.0)
+        assert sign_cosine(a, -a) == pytest.approx(-1.0)
+        assert sign_cosine(a, np.zeros(30)) == 0.0

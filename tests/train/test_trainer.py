@@ -1,0 +1,265 @@
+"""Tests for the distributed trainer and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import mnist_like, train_test_split
+from repro.nn.zoo import mlp
+from repro.train import (
+    DistributedTrainer,
+    MarsitStrategy,
+    PSGDStrategy,
+    TrainConfig,
+    make_cluster,
+)
+from repro.train.metrics import RoundRecord, TrainResult, evaluate
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    data = mnist_like(num_samples=400, size=8, noise=0.5, seed=0)
+    return train_test_split(data, 0.25, seed=1)
+
+
+def factory():
+    return mlp(64, hidden=(16,), num_classes=10, seed=7)
+
+
+class TestTrainConfig:
+    def test_torus_requires_shape(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_workers=4, rounds=10, topology="torus")
+
+    def test_torus_shape_must_multiply(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_workers=4, rounds=10, topology="torus",
+                        torus_shape=(2, 3))
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_workers=2, rounds=10, topology="mesh")
+
+    def test_make_cluster_topologies(self):
+        ring = make_cluster(TrainConfig(num_workers=3, rounds=1))
+        assert ring.topology.name == "ring" and ring.num_workers == 3
+        torus = make_cluster(
+            TrainConfig(num_workers=4, rounds=1, topology="torus",
+                        torus_shape=(2, 2))
+        )
+        assert torus.topology.name == "torus"
+        star = make_cluster(TrainConfig(num_workers=4, rounds=1, topology="star"))
+        assert star.topology.name == "star" and star.num_workers == 4
+
+
+class TestTraining:
+    def test_psgd_learns(self, tiny_data):
+        train, test = tiny_data
+        config = TrainConfig(num_workers=3, rounds=60, batch_size=16,
+                             eval_every=20, seed=0)
+        strategy = PSGDStrategy(lr=0.05, num_workers=3)
+        result = DistributedTrainer(factory, train, test, strategy, config).run()
+        assert not result.diverged
+        assert result.final_accuracy > 0.5
+        assert result.rounds_run == 60
+
+    def test_history_recorded(self, tiny_data):
+        train, test = tiny_data
+        config = TrainConfig(num_workers=2, rounds=21, batch_size=16,
+                             eval_every=10, seed=0)
+        result = DistributedTrainer(
+            factory, train, test, PSGDStrategy(lr=0.05, num_workers=2), config
+        ).run()
+        rounds = [record.round_idx for record in result.history]
+        assert rounds == [0, 10, 20]
+        # monotone accounting
+        times = [record.sim_time_s for record in result.history]
+        bytes_ = [record.comm_bytes for record in result.history]
+        assert times == sorted(times)
+        assert bytes_ == sorted(bytes_)
+
+    def test_divergence_detection(self, tiny_data):
+        train, test = tiny_data
+        config = TrainConfig(num_workers=2, rounds=200, batch_size=16,
+                             eval_every=50, seed=0, divergence_loss=1e3)
+        strategy = PSGDStrategy(lr=50.0, num_workers=2)  # absurd LR
+        result = DistributedTrainer(factory, train, test, strategy, config).run()
+        assert result.diverged
+        assert result.rounds_run < 200
+
+    def test_marsit_trains_end_to_end(self, tiny_data):
+        train, test = tiny_data
+        dimension = factory().num_parameters()
+        config = TrainConfig(num_workers=4, rounds=80, batch_size=16,
+                             eval_every=20, seed=0)
+        strategy = MarsitStrategy(local_lr=0.05, global_lr=4e-3, num_workers=4,
+                                  dimension=dimension)
+        result = DistributedTrainer(factory, train, test, strategy, config).run()
+        assert not result.diverged
+        assert result.best_accuracy() > 0.5
+        assert result.avg_bits_per_element == pytest.approx(1.0)
+
+    def test_time_breakdown_has_three_phases(self, tiny_data):
+        train, test = tiny_data
+        config = TrainConfig(num_workers=2, rounds=5, batch_size=16, seed=0)
+        result = DistributedTrainer(
+            factory, train, test, PSGDStrategy(lr=0.05, num_workers=2), config
+        ).run()
+        assert set(result.time_breakdown_s) == {
+            "computation", "compression", "communication"
+        }
+        assert result.time_breakdown_s["computation"] > 0
+        assert result.time_breakdown_s["communication"] > 0
+
+    def test_deterministic_given_seed(self, tiny_data):
+        train, test = tiny_data
+        def run():
+            config = TrainConfig(num_workers=2, rounds=15, batch_size=16,
+                                 eval_every=5, seed=3)
+            return DistributedTrainer(
+                factory, train, test,
+                PSGDStrategy(lr=0.05, num_workers=2), config,
+            ).run()
+
+        a, b = run(), run()
+        assert a.final_accuracy == b.final_accuracy
+        assert a.total_comm_bytes == b.total_comm_bytes
+
+
+class TestMetrics:
+    def test_evaluate_restores_train_mode(self, tiny_data):
+        train, test = tiny_data
+        model = factory()
+        accuracy, loss = evaluate(model, test)
+        assert 0.0 <= accuracy <= 1.0
+        assert np.isfinite(loss)
+        assert model.training
+
+    def test_evaluate_max_batches(self, tiny_data):
+        _, test = tiny_data
+        model = factory()
+        accuracy, _ = evaluate(model, test, batch_size=10, max_batches=2)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_result_round_queries(self):
+        result = TrainResult(strategy_name="x")
+        result.history = [
+            RoundRecord(0, 1.0, 100, 2.0, 0.3, 2.0, 32.0),
+            RoundRecord(10, 2.0, 200, 1.0, 0.6, 1.0, 32.0),
+            RoundRecord(20, 3.0, 300, 0.5, 0.9, 0.5, 32.0),
+        ]
+        assert result.rounds_to_accuracy(0.5) == 10
+        assert result.time_to_accuracy(0.5) == 2.0
+        assert result.bytes_to_accuracy(0.85) == 300
+        assert result.rounds_to_accuracy(0.99) is None
+        assert result.best_accuracy() == 0.9
+
+
+class TestSharding:
+    def test_dirichlet_sharding_runs(self, tiny_data):
+        train, test = tiny_data
+        config = TrainConfig(num_workers=3, rounds=5, batch_size=8,
+                             eval_every=5, seed=0, sharding="dirichlet",
+                             dirichlet_alpha=0.5)
+        result = DistributedTrainer(
+            factory, train, test, PSGDStrategy(lr=0.05, num_workers=3), config
+        ).run()
+        assert result.rounds_run == 5
+
+    def test_rejects_unknown_sharding(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_workers=2, rounds=5, sharding="sorted")
+
+    def test_tree_topology_trains(self, tiny_data):
+        train, test = tiny_data
+        dimension = factory().num_parameters()
+        config = TrainConfig(num_workers=5, rounds=5, batch_size=8,
+                             eval_every=5, seed=0, topology="tree")
+        strategy = MarsitStrategy(local_lr=0.05, global_lr=4e-3,
+                                  num_workers=5, dimension=dimension)
+        result = DistributedTrainer(factory, train, test, strategy, config).run()
+        assert result.rounds_run == 5
+
+
+class TestByzantineWorkers:
+    def test_sign_flips_applied(self, tiny_data):
+        train, test = tiny_data
+        config = TrainConfig(num_workers=3, rounds=1, batch_size=16, seed=0,
+                             byzantine_workers=1)
+        trainer = DistributedTrainer(
+            factory, train, test, PSGDStrategy(lr=0.05, num_workers=3), config
+        )
+        honest = DistributedTrainer(
+            factory, train, test, PSGDStrategy(lr=0.05, num_workers=3),
+            TrainConfig(num_workers=3, rounds=1, batch_size=16, seed=0),
+        )
+        bad, _ = trainer._worker_gradients()
+        good, _ = honest._worker_gradients()
+        assert np.allclose(bad[0], -10.0 * good[0])
+        assert np.allclose(bad[1], good[1])
+
+    def test_majority_vote_tolerates_minority(self, tiny_data):
+        from repro.train import SignSGDMajorityStrategy
+
+        train, test = tiny_data
+        config = TrainConfig(num_workers=5, rounds=60, batch_size=16,
+                             eval_every=20, seed=0, byzantine_workers=1)
+        strategy = SignSGDMajorityStrategy(lr=0.002, num_workers=5)
+        result = DistributedTrainer(factory, train, test, strategy, config).run()
+        assert result.best_accuracy() > 0.6  # still learns under attack
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_workers=3, rounds=1, byzantine_workers=4)
+
+
+class TestLocalSteps:
+    def test_local_steps_reduce_sync_frequency(self, tiny_data):
+        # At equal total compute (rounds x local_steps), the multi-step run
+        # communicates fewer bytes.
+        train, test = tiny_data
+
+        def run(rounds, local_steps):
+            config = TrainConfig(num_workers=3, rounds=rounds, batch_size=16,
+                                 eval_every=rounds, seed=0,
+                                 local_steps=local_steps, local_step_lr=0.05)
+            return DistributedTrainer(
+                factory, train, test,
+                PSGDStrategy(lr=0.05, num_workers=3), config,
+            ).run()
+
+        single = run(rounds=20, local_steps=1)
+        multi = run(rounds=5, local_steps=4)
+        assert multi.total_comm_bytes == single.total_comm_bytes / 4
+        assert multi.best_accuracy() > 0.2  # still learns
+
+    def test_parameters_restored_between_workers(self, tiny_data):
+        train, test = tiny_data
+        config = TrainConfig(num_workers=2, rounds=1, batch_size=16, seed=0,
+                             local_steps=3, local_step_lr=0.05)
+        trainer = DistributedTrainer(
+            factory, train, test, PSGDStrategy(lr=0.05, num_workers=2), config
+        )
+        before = trainer.model.flatten_params()
+        trainer._worker_gradients()
+        assert np.array_equal(trainer.model.flatten_params(), before)
+
+    def test_computation_charged_per_step(self, tiny_data):
+        train, test = tiny_data
+
+        def comp_time(local_steps):
+            config = TrainConfig(num_workers=2, rounds=2, batch_size=16,
+                                 seed=0, local_steps=local_steps,
+                                 eval_every=2)
+            result = DistributedTrainer(
+                factory, train, test,
+                PSGDStrategy(lr=0.05, num_workers=2), config,
+            ).run()
+            return result.time_breakdown_s["computation"]
+
+        assert comp_time(4) == pytest.approx(4 * comp_time(1))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_workers=2, rounds=1, local_steps=0)
+        with pytest.raises(ValueError):
+            TrainConfig(num_workers=2, rounds=1, local_step_lr=0.0)
