@@ -74,17 +74,11 @@ def cascading_ring_allreduce(
             Phase.COMPRESSION, cluster.cost_model.compress_time(segment_elems)
         )
 
-    def combine(received: Payload, local: object, step: int) -> Payload:
+    def combine(received: Payload, local: object, step: int, rank: int) -> Payload:
         if not isinstance(local, np.ndarray):
             raise TypeError("cascading combine expected a raw local segment")
-        pos_rng = rngs[combine_calls[0] % num]
-        combine_calls[0] += 1
         recovered = received.decode()
-        return compressor.compress(recovered + local, rng=pos_rng)
-
-    # Track which worker's rng to use: ring_reduce_scatter invokes combine
-    # for positions 0..M-1 within each step, in order.
-    combine_calls = [0]
+        return compressor.compress(recovered + local, rng=rngs[rank])
 
     ring_reduce_scatter(cluster, segments, combine, tag="casc-rs")
     if charge_time:

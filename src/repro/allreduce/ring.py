@@ -15,11 +15,16 @@ all share this schedule.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.comm.bits import signed_int_bit_width
+from repro.comm.bits import (
+    elias_gamma_encode,
+    signed_int_bit_width,
+    zigzag_encode,
+)
 from repro.comm.cluster import Cluster, SizedPayload
 from repro.comm.timing import Phase
 
@@ -36,7 +41,31 @@ __all__ = [
 ]
 
 Combine = Callable[[Any, Any, int], Any]
-"""(received_payload, local_segment, step_index) -> new local segment."""
+"""(received_payload, local_segment, step_index) -> new local segment.
+
+A combine may instead accept four positional arguments
+``(received, local, step, rank)``; the schedulers detect this via its
+signature and pass the receiving worker's rank, which lets stateful
+combiners (per-worker RNG streams, per-rank compensation) drop ad-hoc
+call counters.
+"""
+
+
+def _accepts_rank(combine: Combine) -> bool:
+    """True when ``combine`` takes a fourth positional ``rank`` argument."""
+    try:
+        parameters = inspect.signature(combine).parameters.values()
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p
+        for p in parameters
+        if p.kind
+        in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
+    ]
+    if any(p.kind == p.VAR_POSITIONAL for p in positional):
+        return True
+    return len(positional) >= 4
 
 
 def split_segments(vector: np.ndarray, num_segments: int) -> list[np.ndarray]:
@@ -64,6 +93,7 @@ def parallel_ring_reduce_scatter(
     segments: Sequence[list[list[Any]]],
     combine: Combine,
     tag: str = "rs",
+    on_step_end: Callable[[int, float], None] | None = None,
 ) -> list[list[int]]:
     """Reduce phase over several *disjoint* ring cycles in lockstep.
 
@@ -78,6 +108,12 @@ def parallel_ring_reduce_scatter(
             position ``p`` of cycle ``c``; mutated in place.
         combine: folds a received payload into the local segment; the step
             index says how many contributions the payload carries (step+1).
+            A four-argument combine additionally receives the receiving
+            worker's rank.
+        on_step_end: called after each synchronous step with
+            ``(step, transfer_seconds)`` — the makespan the cluster charged
+            for that step's transfers.  Marsit uses it to charge only the
+            *excess* of overlapped per-hop work over the receive time.
 
     Returns:
         ``owned[c][p]``: fully reduced segment index per cycle position.
@@ -91,6 +127,7 @@ def parallel_ring_reduce_scatter(
     for cycle, cycle_segments in zip(cycles, segments):
         if any(len(worker_segments) != size for worker_segments in cycle_segments):
             raise ValueError("each worker must hold exactly cycle-length segments")
+    with_rank = _accepts_rank(combine)
     for step in range(size - 1):
         cluster.begin_step()
         for cycle_idx, cycle in enumerate(cycles):
@@ -108,10 +145,15 @@ def parallel_ring_reduce_scatter(
                 payload = cluster.recv(
                     cycle[pos], cycle[(pos - 1) % size], tag=f"{tag}:{step}"
                 )
-                segments[cycle_idx][pos][recv_idx] = combine(
-                    payload, segments[cycle_idx][pos][recv_idx], step
-                )
-        cluster.end_step()
+                local = segments[cycle_idx][pos][recv_idx]
+                if with_rank:
+                    merged = combine(payload, local, step, cycle[pos])
+                else:
+                    merged = combine(payload, local, step)
+                segments[cycle_idx][pos][recv_idx] = merged
+        elapsed = cluster.end_step()
+        if on_step_end is not None:
+            on_step_end(step, elapsed)
     return [[(pos + 1) % size for pos in range(size)] for _ in cycles]
 
 
@@ -273,7 +315,8 @@ def signsum_ring_allreduce(
     if len(sign_vectors) != size:
         raise ValueError("one sign vector per ring position required")
     for vector in sign_vectors:
-        if not np.isin(vector, (-1, 1)).all():
+        array = np.asarray(vector)
+        if array.size and not ((array == -1) | (array == 1)).all():
             raise ValueError("sign vectors must be over {-1, +1}")
     if charge_compression:
         total_elements = sum(int(np.asarray(v).size) for v in sign_vectors)
@@ -286,8 +329,6 @@ def signsum_ring_allreduce(
     def wrap(segment: np.ndarray, contributors: int) -> SizedPayload:
         segment = np.asarray(segment, dtype=np.int64)
         if elias_coded and segment.size:
-            from repro.comm.bits import elias_gamma_encode, zigzag_encode
-
             # A sum of m iid signs lives on {-m, -m+2, ..., m} with a
             # binomial peak at 0; re-index by half-steps from the mode so
             # the common values get the short gamma codes.

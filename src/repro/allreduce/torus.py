@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm.cluster import Cluster
+from repro.comm.bits import signed_int_bit_width
+from repro.comm.cluster import Cluster, SizedPayload
+from repro.comm.timing import Phase
 from repro.allreduce.ring import (
     parallel_ring_all_gather,
     parallel_ring_reduce_scatter,
@@ -28,6 +30,8 @@ from repro.allreduce.ring import (
 )
 
 __all__ = [
+    "col_cycles",
+    "row_cycles",
     "signsum_torus_allreduce",
     "torus_allgather_scalars",
     "torus_allreduce_mean",
@@ -175,16 +179,13 @@ def signsum_torus_allreduce(
     ``cols``, each hop charged at the fixed signed width of its partial-sum
     range — Section 3.1's expansion, under TAR.
     """
-    from repro.comm.bits import signed_int_bit_width
-    from repro.comm.cluster import SizedPayload
-    from repro.comm.timing import Phase
-
     rows, cols = torus_rows_cols(cluster)
     num = rows * cols
     if len(sign_vectors) != num:
         raise ValueError(f"expected {num} sign vectors, got {len(sign_vectors)}")
     for vector in sign_vectors:
-        if not np.isin(vector, (-1, 1)).all():
+        array = np.asarray(vector)
+        if array.size and not ((array == -1) | (array == 1)).all():
             raise ValueError("sign vectors must be over {-1, +1}")
     if charge_compression:
         total = sum(int(np.asarray(v).size) for v in sign_vectors)

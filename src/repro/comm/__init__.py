@@ -12,6 +12,7 @@ This package provides everything below the all-reduce layer:
 
 from repro.comm.bits import (
     BitVector,
+    PackedBits,
     elias_delta_decode,
     elias_delta_encode,
     elias_gamma_decode,
@@ -37,6 +38,7 @@ __all__ = [
     "CostModel",
     "Link",
     "Message",
+    "PackedBits",
     "Phase",
     "TimeLine",
     "Topology",

@@ -19,7 +19,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.comm.bits import BitVector
+from repro.comm.bits import BitVector, PackedBits
 from repro.comm.timing import CostModel, Phase, TimeLine
 from repro.comm.topology import Topology
 
@@ -47,14 +47,16 @@ class SizedPayload:
 def payload_nbytes(payload: Any) -> int:
     """Wire size in bytes of a message payload.
 
-    numpy arrays are charged their raw buffer size, :class:`BitVector` its
-    packed size, :class:`SizedPayload` (and any object exposing an integer
-    ``nbytes``) its declared size, and containers the sum of their items.
-    Scalars are charged eight bytes (a double / int64 on the wire).
+    numpy arrays are charged their raw buffer size, :class:`BitVector` and
+    :class:`PackedBits` their packed wire size ``ceil(length / 8)`` (the
+    word-aligned in-memory tail padding is *not* charged), :class:`SizedPayload`
+    (and any object exposing an integer ``nbytes``) its declared size, and
+    containers the sum of their items.  Scalars are charged eight bytes (a
+    double / int64 on the wire).
     """
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
-    if isinstance(payload, BitVector):
+    if isinstance(payload, (BitVector, PackedBits)):
         return payload.nbytes
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
@@ -192,12 +194,15 @@ class Cluster:
         return message
 
     def recv(self, dst: int, src: int, tag: str = "") -> Any:
-        """Receive the oldest pending message from ``src`` at ``dst``."""
-        if self.strict:
-            return self.workers[dst].take(src, tag).payload
+        """Receive the oldest pending message from ``src`` at ``dst``.
+
+        In strict mode a missing message raises; otherwise it yields None.
+        """
         try:
             return self.workers[dst].take(src, tag).payload
         except LookupError:
+            if self.strict:
+                raise
             return None
 
     # ------------------------------------------------------------------

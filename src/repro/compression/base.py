@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.comm.bits import BitVector
+from repro.comm.bits import BitVector, PackedBits
 
 __all__ = [
     "Compressor",
@@ -64,9 +64,14 @@ class DensePayload(Payload):
 
 @dataclass(frozen=True)
 class SignPayload(Payload):
-    """Pure sign bits; decodes to ``{-1, +1}``."""
+    """Pure sign bits; decodes to ``{-1, +1}``.
 
-    bits: BitVector
+    ``bits`` is any packed one-bit container exposing ``nbytes`` /
+    ``to_signs`` — :class:`PackedBits` on the word-level fast path,
+    :class:`BitVector` for byte-level legacy payloads.
+    """
+
+    bits: BitVector | PackedBits
 
     @property
     def nbytes(self) -> int:
@@ -83,7 +88,7 @@ class ScaledSignPayload(Payload):
     Used by SSDM (scale = l2 norm) and EF-signSGD (scale = mean |.|).
     """
 
-    bits: BitVector
+    bits: BitVector | PackedBits
     scale: float
 
     @property

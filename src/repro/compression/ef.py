@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm.bits import BitVector
+from repro.comm.bits import PackedBits
 from repro.compression.base import Compressor, Payload, ScaledSignPayload, as_vector
 
 __all__ = ["EFSignCompressor"]
@@ -52,7 +52,7 @@ class EFSignCompressor(Compressor):
         scale = float(np.abs(corrected).sum() / corrected.size)
         signs = np.where(corrected >= 0, 1.0, -1.0)
         self._memory = corrected - scale * signs
-        return ScaledSignPayload(bits=BitVector.from_signs(signs), scale=scale)
+        return ScaledSignPayload(bits=PackedBits.from_signs(signs), scale=scale)
 
     def nominal_bits_per_element(self) -> float:
         return 1.0

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.comm.bits import BitVector
+from repro.comm.bits import BitVector, PackedBits
 from repro.compression.base import Compressor, Payload, as_vector
 
 __all__ = ["QSGDCompressor", "QSGDPayload"]
@@ -25,7 +25,7 @@ class QSGDPayload(Payload):
     """norm + signs + per-element quantization levels."""
 
     norm: float
-    bits: BitVector
+    bits: BitVector | PackedBits
     levels: np.ndarray
     num_levels: int
 
@@ -68,7 +68,7 @@ class QSGDCompressor(Compressor):
             signs = np.where(vector >= 0, 1.0, -1.0)
         return QSGDPayload(
             norm=norm,
-            bits=BitVector.from_signs(signs),
+            bits=PackedBits.from_signs(signs),
             levels=levels,
             num_levels=self.num_levels,
         )

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm.bits import pack_signs
+from repro.comm.bits import PackedBits
 from repro.compression.base import (
     Compressor,
     DensePayload,
     Payload,
+    ScaledSignPayload,
     SignPayload,
     as_vector,
 )
@@ -48,7 +49,7 @@ class SignCompressor(Compressor):
     def compress(
         self, vector: np.ndarray, rng: np.random.Generator | None = None
     ) -> Payload:
-        return SignPayload(bits=pack_signs(as_vector(vector)))
+        return SignPayload(bits=PackedBits.from_signs(as_vector(vector)))
 
     def nominal_bits_per_element(self) -> float:
         return 1.0
@@ -73,13 +74,10 @@ class MeanAbsSignCompressor(Compressor):
     def compress(
         self, vector: np.ndarray, rng: np.random.Generator | None = None
     ) -> Payload:
-        from repro.compression.base import ScaledSignPayload
-        from repro.comm.bits import BitVector
-
         vector = as_vector(vector)
         scale = float(np.abs(vector).mean()) if vector.size else 0.0
         signs = np.where(vector >= 0, 1.0, -1.0)
-        return ScaledSignPayload(bits=BitVector.from_signs(signs), scale=scale)
+        return ScaledSignPayload(bits=PackedBits.from_signs(signs), scale=scale)
 
     def nominal_bits_per_element(self) -> float:
         return 1.0

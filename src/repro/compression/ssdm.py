@@ -17,7 +17,7 @@ import numpy as np
 
 from dataclasses import dataclass
 
-from repro.comm.bits import BitVector
+from repro.comm.bits import BitVector, PackedBits
 from repro.compression.base import Compressor, Payload, ScaledSignPayload, as_vector
 
 __all__ = ["BlockScaledSignPayload", "SSDMCompressor", "stochastic_sign"]
@@ -47,7 +47,7 @@ def stochastic_sign(
 class BlockScaledSignPayload(Payload):
     """Sign bits plus one float scale per block of ``block_size`` elements."""
 
-    bits: BitVector
+    bits: BitVector | PackedBits
     scales: np.ndarray
     block_size: int
 
@@ -90,7 +90,7 @@ class SSDMCompressor(Compressor):
         vector = as_vector(vector)
         if self.block_size is None or vector.size <= self.block_size:
             signs, norm = stochastic_sign(vector, rng)
-            return ScaledSignPayload(bits=BitVector.from_signs(signs), scale=norm)
+            return ScaledSignPayload(bits=PackedBits.from_signs(signs), scale=norm)
         block = self.block_size
         num_blocks = (vector.size + block - 1) // block
         padded = np.zeros(num_blocks * block)
@@ -103,7 +103,7 @@ class SSDMCompressor(Compressor):
         draws = rng.random(blocks.shape)
         signs = np.where(draws < probs, 1.0, -1.0).reshape(-1)[: vector.size]
         return BlockScaledSignPayload(
-            bits=BitVector.from_signs(signs),
+            bits=PackedBits.from_signs(signs),
             scales=norms,
             block_size=block,
         )

@@ -14,7 +14,9 @@ from repro.core.optimizer import MarsitAdam, MarsitMomentum, MarsitSGD
 from repro.core.sign_ops import (
     expected_merge_probability,
     merge_sign_bits,
+    merge_sign_bits_packed,
     transient_vector,
+    transient_vector_packed,
 )
 
 __all__ = [
@@ -26,5 +28,7 @@ __all__ = [
     "MarsitSynchronizer",
     "expected_merge_probability",
     "merge_sign_bits",
+    "merge_sign_bits_packed",
     "transient_vector",
+    "transient_vector_packed",
 ]

@@ -27,12 +27,25 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.allreduce.ring import ring_allreduce_mean, split_segments
-from repro.allreduce.torus import torus_allreduce_mean, torus_rows_cols
-from repro.comm.bits import BitVector
+from repro.allreduce.ring import (
+    parallel_ring_all_gather,
+    parallel_ring_reduce_scatter,
+    ring_allreduce_mean,
+    split_segments,
+)
+from repro.allreduce.torus import (
+    col_cycles,
+    row_cycles,
+    torus_allreduce_mean,
+    torus_rows_cols,
+)
+from repro.comm.bits import PackedBits
 from repro.comm.cluster import Cluster
 from repro.comm.timing import Phase
-from repro.core.sign_ops import merge_sign_bits, transient_vector
+from repro.core.sign_ops import (
+    merge_sign_bits_packed,
+    transient_vector_packed,
+)
 
 __all__ = ["MarsitConfig", "MarsitState", "MarsitSynchronizer", "SyncReport"]
 
@@ -214,144 +227,120 @@ class MarsitSynchronizer:
             return bits.astype(np.float64) * 2.0 - 1.0
         if cluster.topology.name == "ring":
             if self.config.segment_elems is not None:
-                final_bits = self._one_bit_segmented_ring(cluster, vectors)
+                final = self._one_bit_segmented_ring(cluster, vectors)
             else:
-                final_bits = self._one_bit_ring(cluster, vectors)
+                final = self._one_bit_ring(cluster, vectors)
         elif cluster.topology.name == "torus":
-            final_bits = self._one_bit_torus(cluster, vectors)
+            final = self._one_bit_torus(cluster, vectors)
         elif cluster.topology.name == "tree":
-            final_bits = self._one_bit_tree(cluster, vectors)
+            final = self._one_bit_tree(cluster, vectors)
         else:
             raise ValueError(
                 f"Marsit one-bit sync supports ring/torus/tree topologies, "
                 f"got {cluster.topology.name!r}"
             )
-        return final_bits.astype(np.float64) * 2.0 - 1.0
+        # The single unpack of the whole pipeline: words -> {-1, +1} floats.
+        return final.to_signs()
 
-    def _sign_bits(self, vector: np.ndarray) -> np.ndarray:
-        """``sgn`` with the +1-at-zero convention, as 0/1 bits."""
-        return (vector >= 0).astype(np.uint8)
+    def _sign_segments(
+        self, vector: np.ndarray, num_segments: int
+    ) -> list[PackedBits]:
+        """Split and pack ``sgn`` (+1-at-zero) once, at compression time."""
+        return [
+            PackedBits.from_signs(seg)
+            for seg in split_segments(vector, num_segments)
+        ]
 
     def _reduce_cycles(
         self,
         cluster: Cluster,
         cycles: Sequence[Sequence[int]],
-        bit_segments: Sequence[list[list[np.ndarray]]],
+        bit_segments: Sequence[list[list[PackedBits]]],
         base_weight: int,
         tag: str,
     ) -> None:
         """One-bit reduce-scatter over disjoint ring cycles in lockstep.
 
-        ``bit_segments[c][p][i]`` are 0/1 arrays; each position's vector
-        already aggregates ``base_weight`` workers (1 on RAR; a full row on
-        TAR's column phase).  All cycles advance together, so transfers on
-        different rows/columns of a torus overlap.  Mutates in place;
-        ownership ends at the standard reduce layout (``(p + 1) % size``).
+        ``bit_segments[c][p][i]`` are :class:`PackedBits`; each position's
+        vector already aggregates ``base_weight`` workers (1 on RAR; a full
+        row on TAR's column phase).  The schedule itself is
+        :func:`parallel_ring_reduce_scatter`; this wrapper supplies the
+        packed ``⊙`` combine (the receiving rank selects the RNG stream) and
+        the Section 4.1.1 overlap charges.  Mutates in place; ownership ends
+        at the standard reduce layout (``(p + 1) % size``).
         """
         if not cycles:
             return
-        size = len(cycles[0])
         model = cluster.cost_model
         segment_elems = max(
-            (seg.size for seg in bit_segments[0][0]), default=0
+            (len(seg) for seg in bit_segments[0][0]), default=0
         )
         # The first outgoing segment's signs must exist before step 0.
         cluster.charge(Phase.COMPRESSION, model.compress_time(segment_elems))
-        for step in range(size - 1):
-            cluster.begin_step()
-            for cycle_idx, ranks in enumerate(cycles):
-                for pos in range(size):
-                    send_idx = (pos - step) % size
-                    cluster.send(
-                        ranks[pos],
-                        ranks[(pos + 1) % size],
-                        BitVector.from_bits(bit_segments[cycle_idx][pos][send_idx]),
-                        tag=f"{tag}:{step}",
-                    )
-            for cycle_idx, ranks in enumerate(cycles):
-                for pos in range(size):
-                    recv_idx = (pos - 1 - step) % size
-                    payload: BitVector = cluster.recv(
-                        ranks[pos], ranks[(pos - 1) % size], tag=f"{tag}:{step}"
-                    )
-                    received = payload.to_bits()
-                    local = bit_segments[cycle_idx][pos][recv_idx]
-                    transient = transient_vector(
-                        local,
-                        received_weight=(step + 1) * base_weight,
-                        local_weight=base_weight,
-                        rng=self.rngs[ranks[pos]],
-                    )
-                    bit_segments[cycle_idx][pos][recv_idx] = merge_sign_bits(
-                        received, local, transient
-                    )
-            transfer = cluster.end_step()
+
+        def combine(
+            received: PackedBits, local: PackedBits, step: int, rank: int
+        ) -> PackedBits:
+            transient = transient_vector_packed(
+                local,
+                received_weight=(step + 1) * base_weight,
+                local_weight=base_weight,
+                rng=self.rngs[rank],
+            )
+            return merge_sign_bits_packed(received, local, transient)
+
+        def charge_hop(step: int, transfer: float) -> None:
             # Sign extraction + transient draw for the next hop overlap the
             # transfer (Section 4.1.1); only the excess is critical path.
             overlapped = model.compress_time(segment_elems) + model.rng_time(
                 segment_elems
             )
-            cluster.charge(
-                Phase.COMPRESSION, max(0.0, overlapped - transfer)
-            )
+            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
             # The merge itself needs the received bits: charged in full.
             cluster.charge(Phase.COMPRESSION, model.bitop_time(segment_elems))
+
+        parallel_ring_reduce_scatter(
+            cluster,
+            cycles,
+            bit_segments,
+            combine,
+            tag=tag,
+            on_step_end=charge_hop,
+        )
 
     def _gather_cycles(
         self,
         cluster: Cluster,
         cycles: Sequence[Sequence[int]],
-        bit_segments: Sequence[list[list[np.ndarray]]],
+        bit_segments: Sequence[list[list[PackedBits]]],
         tag: str,
     ) -> None:
-        """All-gather of owned bit segments over cycles in lockstep."""
-        if not cycles:
-            return
-        size = len(cycles[0])
-        for step in range(size - 1):
-            cluster.begin_step()
-            for cycle_idx, ranks in enumerate(cycles):
-                for pos in range(size):
-                    send_idx = (pos + 1 - step) % size
-                    cluster.send(
-                        ranks[pos],
-                        ranks[(pos + 1) % size],
-                        BitVector.from_bits(bit_segments[cycle_idx][pos][send_idx]),
-                        tag=f"{tag}:{step}",
-                    )
-            for cycle_idx, ranks in enumerate(cycles):
-                for pos in range(size):
-                    recv_idx = (pos - step) % size
-                    payload: BitVector = cluster.recv(
-                        ranks[pos], ranks[(pos - 1) % size], tag=f"{tag}:{step}"
-                    )
-                    bit_segments[cycle_idx][pos][recv_idx] = payload.to_bits()
-            cluster.end_step()
+        """All-gather of owned packed segments over cycles in lockstep."""
+        parallel_ring_all_gather(cluster, cycles, bit_segments, tag=tag)
 
     def _one_bit_ring(
         self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> np.ndarray:
+    ) -> PackedBits:
         """RAR one-bit sync (Figure 2's R and G periods)."""
         size = self.num_workers
         ranks = list(range(size))
         bit_segments = [
-            [self._sign_bits(seg) for seg in split_segments(vec, size)]
-            for vec in vectors
+            self._sign_segments(vec, size) for vec in vectors
         ]
         self._reduce_cycles(
             cluster, [ranks], [bit_segments], base_weight=1, tag="m-rs"
         )
         self._gather_cycles(cluster, [ranks], [bit_segments], tag="m-ag")
-        final = np.concatenate(bit_segments[0])
+        final = PackedBits.concat(bit_segments[0])
         for pos in range(1, size):
-            other = np.concatenate(bit_segments[pos])
-            if not np.array_equal(final, other):
+            other = PackedBits.concat(bit_segments[pos])
+            if not final.equals(other):
                 raise AssertionError("consensus violated after gather phase")
         return final
 
     def _one_bit_torus(
         self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> np.ndarray:
+    ) -> PackedBits:
         """TAR one-bit sync: row reduce, column all-reduce, then gathers.
 
         The column phase merges vectors that each already represent a whole
@@ -360,25 +349,15 @@ class MarsitSynchronizer:
         columns) advance in lockstep, matching TAR's latency profile.
         """
         rows, cols = torus_rows_cols(cluster)
-        row_rank_lists = [
-            [r * cols + c for c in range(cols)] for r in range(rows)
-        ]
-        col_rank_lists = [
-            [r * cols + c for r in range(rows)] for c in range(cols)
-        ]
+        row_rank_lists = row_cycles(rows, cols)
+        col_rank_lists = col_cycles(rows, cols)
 
         # Row phase: reduce-scatter sign bits within every row, in lockstep.
-        row_segments: dict[int, list[np.ndarray]] = {}
+        row_segments: dict[int, list[PackedBits]] = {}
         owned_idx: dict[int, int] = {}
         if cols > 1:
             all_segments = [
-                [
-                    [
-                        self._sign_bits(seg)
-                        for seg in split_segments(vectors[rank], cols)
-                    ]
-                    for rank in ranks
-                ]
+                [self._sign_segments(vectors[rank], cols) for rank in ranks]
                 for ranks in row_rank_lists
             ]
             self._reduce_cycles(
@@ -390,19 +369,14 @@ class MarsitSynchronizer:
                     owned_idx[rank] = (pos + 1) % cols
         else:
             for rank in range(self.num_workers):
-                row_segments[rank] = [self._sign_bits(vectors[rank])]
+                row_segments[rank] = [PackedBits.from_signs(vectors[rank])]
                 owned_idx[rank] = 0
 
         # Column phase: one-bit all-reduce of every owned chunk, in lockstep.
         if rows > 1:
             chunk_segments = [
                 [
-                    [
-                        seg.copy()
-                        for seg in np.array_split(
-                            row_segments[rank][owned_idx[rank]], rows
-                        )
-                    ]
+                    row_segments[rank][owned_idx[rank]].split(rows)
                     for rank in ranks
                 ]
                 for ranks in col_rank_lists
@@ -417,7 +391,7 @@ class MarsitSynchronizer:
             self._gather_cycles(cluster, col_rank_lists, chunk_segments, tag="m-col-ag")
             for cycle_idx, ranks in enumerate(col_rank_lists):
                 for pos, rank in enumerate(ranks):
-                    row_segments[rank][owned_idx[rank]] = np.concatenate(
+                    row_segments[rank][owned_idx[rank]] = PackedBits.concat(
                         chunk_segments[cycle_idx][pos]
                     )
 
@@ -428,16 +402,16 @@ class MarsitSynchronizer:
             ]
             self._gather_cycles(cluster, row_rank_lists, all_segments, tag="m-row-ag")
 
-        final = np.concatenate(row_segments[0])
+        final = PackedBits.concat(row_segments[0])
         for rank in range(1, self.num_workers):
-            other = np.concatenate(row_segments[rank])
-            if not np.array_equal(final, other):
+            other = PackedBits.concat(row_segments[rank])
+            if not final.equals(other):
                 raise AssertionError("consensus violated after torus gather")
         return final
 
     def _one_bit_segmented_ring(
         self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> np.ndarray:
+    ) -> PackedBits:
         """Segmented-ring variant: independent one-bit ring passes per chunk.
 
         Each fixed-size chunk of the vector runs its own reduce+gather, so a
@@ -448,15 +422,11 @@ class MarsitSynchronizer:
         size = self.num_workers
         ranks = list(range(size))
         dimension = vectors[0].size
-        pieces: list[np.ndarray] = []
+        pieces: list[PackedBits] = []
         for start in range(0, dimension, segment_elems):
             stop = min(start + segment_elems, dimension)
             chunk_segments = [
-                [
-                    self._sign_bits(seg)
-                    for seg in split_segments(vec[start:stop], size)
-                ]
-                for vec in vectors
+                self._sign_segments(vec[start:stop], size) for vec in vectors
             ]
             self._reduce_cycles(
                 cluster, [ranks], [chunk_segments], base_weight=1,
@@ -465,17 +435,15 @@ class MarsitSynchronizer:
             self._gather_cycles(
                 cluster, [ranks], [chunk_segments], tag=f"m-seg{start}-ag"
             )
-            pieces.append(np.concatenate(chunk_segments[0]))
+            pieces.append(PackedBits.concat(chunk_segments[0]))
             for pos in range(1, size):
-                if not np.array_equal(
-                    pieces[-1], np.concatenate(chunk_segments[pos])
-                ):
+                if not pieces[-1].equals(PackedBits.concat(chunk_segments[pos])):
                     raise AssertionError("segmented-ring consensus violated")
-        return np.concatenate(pieces)
+        return PackedBits.concat(pieces)
 
     def _one_bit_tree(
         self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> np.ndarray:
+    ) -> PackedBits:
         """Tree variant: weighted ``⊙`` merges up the tree, broadcast down.
 
         A parent folds each child's bit vector (representing that child's
@@ -496,7 +464,7 @@ class MarsitSynchronizer:
             levels[depth].append(rank)
 
         model = cluster.cost_model
-        bits = [self._sign_bits(vec) for vec in vectors]
+        bits = [PackedBits.from_signs(vec) for vec in vectors]
         weight = [1] * num
         dimension = vectors[0].size
         cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
@@ -506,21 +474,21 @@ class MarsitSynchronizer:
             cluster.begin_step()
             for rank in level:
                 cluster.send(
-                    rank, (rank - 1) // arity, BitVector.from_bits(bits[rank]),
-                    tag="m-tree-up",
+                    rank, (rank - 1) // arity, bits[rank], tag="m-tree-up"
                 )
             for rank in level:
                 parent = (rank - 1) // arity
-                payload: BitVector = cluster.recv(parent, rank, tag="m-tree-up")
-                received = payload.to_bits()
-                transient = transient_vector(
+                received: PackedBits = cluster.recv(parent, rank, tag="m-tree-up")
+                transient = transient_vector_packed(
                     bits[parent],
                     received_weight=weight[rank],
                     local_weight=weight[parent],
                     rng=self.rngs[parent],
                 )
                 # Merge child (received) into parent (local).
-                bits[parent] = merge_sign_bits(received, bits[parent], transient)
+                bits[parent] = merge_sign_bits_packed(
+                    received, bits[parent], transient
+                )
                 weight[parent] += weight[rank]
             transfer = cluster.end_step()
             overlapped = model.rng_time(dimension)
@@ -534,18 +502,14 @@ class MarsitSynchronizer:
             cluster.begin_step()
             for rank in level:
                 parent = (rank - 1) // arity
-                cluster.send(
-                    parent, rank, BitVector.from_bits(bits[parent]),
-                    tag="m-tree-down",
-                )
+                cluster.send(parent, rank, bits[parent], tag="m-tree-down")
             for rank in level:
-                payload = cluster.recv(
+                bits[rank] = cluster.recv(
                     rank, (rank - 1) // arity, tag="m-tree-down"
                 )
-                bits[rank] = payload.to_bits()
             cluster.end_step()
         for rank in range(1, num):
-            if not np.array_equal(bits[rank], bits[0]):
+            if not bits[rank].equals(bits[0]):
                 raise AssertionError("tree consensus violated")
         return bits[0]
 

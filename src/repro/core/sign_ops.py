@@ -21,16 +21,26 @@ the exact invariant tested in this package:
 where ``p_j``/``q_j`` are the +1 fractions represented by ``v``/``v*`` —
 i.e. the final bit is an unbiased one-bit sample of the *mean sign* across
 all contributing workers, with no decompression anywhere.
+
+The packed fast path (:func:`transient_vector_packed`,
+:func:`merge_sign_bits_packed`) runs the same algebra 64 elements per
+``uint64`` word on :class:`~repro.comm.bits.PackedBits` operands, consuming
+the identical RNG stream so packed and unpacked hops are bit-for-bit equal
+under a shared seed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.bits import PackedBits
+
 __all__ = [
     "expected_merge_probability",
     "merge_sign_bits",
+    "merge_sign_bits_packed",
     "transient_vector",
+    "transient_vector_packed",
 ]
 
 
@@ -38,7 +48,11 @@ def _validate_bits(bits: np.ndarray, name: str) -> np.ndarray:
     array = np.asarray(bits)
     if array.ndim != 1:
         raise ValueError(f"{name} must be 1-D")
-    if array.size and not np.isin(array, (0, 1)).all():
+    if (
+        array.size
+        and array.dtype not in (np.uint8, np.bool_)
+        and not bool(((array == 0) | (array == 1)).all())
+    ):
         raise ValueError(f"{name} must contain only 0/1 values")
     return array.astype(np.uint8)
 
@@ -90,6 +104,43 @@ def merge_sign_bits(
     if not received.size == local.size == trans.size:
         raise ValueError("all bit vectors must share one length")
     return (received & local) | ((received ^ local) & trans)
+
+
+def transient_vector_packed(
+    local_bits: PackedBits,
+    received_weight: int,
+    local_weight: int,
+    rng: np.random.Generator,
+) -> PackedBits:
+    """Packed-word :func:`transient_vector`: same draw, 64 bits per op.
+
+    Consumes the identical RNG stream — one ``rng.random(length)`` batch —
+    so the result is bit-for-bit equal to the unpacked reference under a
+    shared seed.  The per-element select ``probs = where(v*, b/(a+b),
+    a/(a+b))`` becomes two packed threshold masks muxed by the local word:
+    ``r = (v* & [u < b/(a+b)]) | (~v* & [u < a/(a+b)])``.  The draw still
+    depends only on ``v*``, preserving the overlap-with-reception property.
+    """
+    if received_weight < 1 or local_weight < 1:
+        raise ValueError("weights must be >= 1")
+    keep_local = local_weight / (received_weight + local_weight)
+    uniforms = rng.random(len(local_bits))
+    below_local = PackedBits.from_bits(uniforms < keep_local)
+    below_other = PackedBits.from_bits(uniforms < 1.0 - keep_local)
+    return (local_bits & below_local) | (local_bits.invert() & below_other)
+
+
+def merge_sign_bits_packed(
+    received_bits: PackedBits,
+    local_bits: PackedBits,
+    transient: PackedBits,
+) -> PackedBits:
+    """``v ⊙ v* = (v AND v*) OR ((v XOR v*) AND r)`` on ``uint64`` words."""
+    if not len(received_bits) == len(local_bits) == len(transient):
+        raise ValueError("all bit vectors must share one length")
+    return (received_bits & local_bits) | (
+        (received_bits ^ local_bits) & transient
+    )
 
 
 def expected_merge_probability(

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.allreduce.cascading import cascading_ring_allreduce
 from repro.allreduce.ps import ps_allreduce
+from repro.comm.bits import signed_int_bit_width
 from repro.allreduce.ring import ring_allreduce_mean, signsum_ring_allreduce
 from repro.allreduce.torus import (
     signsum_torus_allreduce,
@@ -309,8 +310,6 @@ class SignSGDMajorityStrategy(SyncStrategy):
         )
 
     def _expanded_bits(self) -> float:
-        from repro.comm.bits import signed_int_bit_width
-
         return float(signed_int_bit_width(max(1, self.num_workers)))
 
 

@@ -1,0 +1,180 @@
+"""Property tests for :class:`PackedBits` and the vectorized Elias codecs.
+
+The packed fast path must be *indistinguishable* from the seed's reference
+implementations: identical bits, identical bytes on the wire, identical
+exceptions on truncated streams.  Sizes deliberately straddle the 64-bit
+word boundary (0, 1, 63, 64, 65, and non-multiples of 64).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.bits import (
+    BitVector,
+    PackedBits,
+    elias_delta_decode,
+    elias_delta_decode_reference,
+    elias_delta_encode,
+    elias_delta_encode_reference,
+    elias_gamma_decode,
+    elias_gamma_decode_reference,
+    elias_gamma_encode,
+    elias_gamma_encode_reference,
+    zigzag_encode,
+)
+
+BOUNDARY_SIZES = [0, 1, 7, 8, 9, 63, 64, 65, 100, 127, 128, 129, 1000]
+
+
+def random_bits(size: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random(size) < 0.5).astype(np.uint8)
+
+
+class TestPackedBitsRoundtrip:
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_bits_roundtrip(self, size):
+        bits = random_bits(size, size)
+        assert np.array_equal(PackedBits.from_bits(bits).to_bits(), bits)
+
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_signs_roundtrip(self, size):
+        rng = np.random.default_rng(size + 1)
+        signs = np.where(rng.random(size) < 0.5, 1.0, -1.0)
+        assert np.array_equal(PackedBits.from_signs(signs).to_signs(), signs)
+
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_bitvector_interop(self, size):
+        bits = random_bits(size, size + 2)
+        vector = BitVector.from_bits(bits)
+        packed = PackedBits.from_bitvector(vector)
+        assert np.array_equal(packed.to_bits(), bits)
+        back = packed.to_bitvector()
+        assert back.data == vector.data and back.length == vector.length
+
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_wire_bytes_match_bitvector(self, size):
+        bits = random_bits(size, size + 3)
+        assert PackedBits.from_bits(bits).nbytes == BitVector.from_bits(bits).nbytes
+
+    def test_tail_bits_are_zero(self):
+        packed = PackedBits.from_bits(np.ones(65, dtype=np.uint8))
+        assert packed.words[-1] == 1  # only bit 64 set in the second word
+        assert packed.popcount() == 65
+
+
+class TestPackedBitsOps:
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_word_ops_match_elementwise(self, size):
+        a_bits = random_bits(size, size + 10)
+        b_bits = random_bits(size, size + 11)
+        a, b = PackedBits.from_bits(a_bits), PackedBits.from_bits(b_bits)
+        assert np.array_equal((a & b).to_bits(), a_bits & b_bits)
+        assert np.array_equal((a | b).to_bits(), a_bits | b_bits)
+        assert np.array_equal((a ^ b).to_bits(), a_bits ^ b_bits)
+        assert np.array_equal(a.invert().to_bits(), 1 - a_bits)
+        assert a.popcount() == int(a_bits.sum())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PackedBits.from_bits(np.ones(3, dtype=np.uint8)) & PackedBits.from_bits(
+                np.ones(4, dtype=np.uint8)
+            )
+
+    @pytest.mark.parametrize("size", [1, 63, 64, 65, 130])
+    @pytest.mark.parametrize("num_parts", [1, 2, 3, 4])
+    def test_split_concat_roundtrip(self, size, num_parts):
+        bits = random_bits(size, size * 7 + num_parts)
+        packed = PackedBits.from_bits(bits)
+        parts = packed.split(num_parts)
+        assert sum(len(p) for p in parts) == size
+        assert np.array_equal(PackedBits.concat(parts).to_bits(), bits)
+
+    @given(st.integers(0, 200), st.integers(0, 200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_slice_matches_numpy(self, start, stop, seed):
+        bits = random_bits(200, seed % 1000)
+        packed = PackedBits.from_bits(bits)
+        lo, hi = min(start, stop), max(start, stop)
+        assert np.array_equal(packed.slice(lo, hi).to_bits(), bits[lo:hi])
+
+
+class TestVectorizedEliasMatchesReference:
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_gamma_byte_identical(self, size):
+        rng = np.random.default_rng(size + 40)
+        values = zigzag_encode(rng.integers(-8, 9, size))
+        assert elias_gamma_encode(values) == elias_gamma_encode_reference(values)
+
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_delta_byte_identical(self, size):
+        rng = np.random.default_rng(size + 41)
+        values = zigzag_encode(rng.integers(-8, 9, size))
+        assert elias_delta_encode(values) == elias_delta_encode_reference(values)
+
+    @given(st.lists(st.integers(1, 2**62), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_gamma_roundtrip_wide_values(self, values):
+        values = np.asarray(values, dtype=np.int64)
+        payload, total_bits = elias_gamma_encode(values)
+        ref_payload, ref_bits = elias_gamma_encode_reference(values)
+        assert payload == ref_payload and total_bits == ref_bits
+        assert np.array_equal(elias_gamma_decode(payload, values.size), values)
+
+    @given(st.lists(st.integers(1, 2**62), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_roundtrip_wide_values(self, values):
+        values = np.asarray(values, dtype=np.int64)
+        payload, total_bits = elias_delta_encode(values)
+        ref_payload, ref_bits = elias_delta_encode_reference(values)
+        assert payload == ref_payload and total_bits == ref_bits
+        assert np.array_equal(elias_delta_decode(payload, values.size), values)
+
+    @pytest.mark.parametrize(
+        "encode", [elias_gamma_encode, elias_delta_encode]
+    )
+    def test_rejects_non_positive(self, encode):
+        with pytest.raises(ValueError):
+            encode(np.array([3, 0, 1]))
+
+
+class TestVectorizedEliasEOFParity:
+    """Truncated payloads raise EOFError exactly where the reference does."""
+
+    @pytest.mark.parametrize(
+        "encode,decode,decode_reference",
+        [
+            (elias_gamma_encode, elias_gamma_decode, elias_gamma_decode_reference),
+            (elias_delta_encode, elias_delta_decode, elias_delta_decode_reference),
+        ],
+        ids=["gamma", "delta"],
+    )
+    def test_every_truncation_point(self, encode, decode, decode_reference):
+        rng = np.random.default_rng(99)
+        values = zigzag_encode(rng.integers(-8, 9, 150))
+        payload, _ = encode(values)
+        for cut in range(len(payload) + 1):
+            truncated = payload[:cut]
+            try:
+                expected = decode_reference(truncated, values.size)
+            except EOFError:
+                expected = None
+            if expected is None:
+                with pytest.raises(EOFError):
+                    decode(truncated, values.size)
+            else:
+                assert np.array_equal(decode(truncated, values.size), expected)
+
+    @pytest.mark.parametrize(
+        "decode", [elias_gamma_decode, elias_delta_decode], ids=["gamma", "delta"]
+    )
+    def test_overcount_and_empty(self, decode):
+        values = np.array([1, 2, 3], dtype=np.int64)
+        payload, _ = elias_gamma_encode(values)
+        with pytest.raises(EOFError):
+            elias_gamma_decode(payload, 4)
+        for junk in (b"", b"\x00" * 64):
+            with pytest.raises(EOFError):
+                decode(junk, 2)
