@@ -73,7 +73,8 @@ def _compensation_ablation():
                 dimension=spec.dimension(), base_optimizer="sgd", seed=0,
             )
             strategy._optimizer.synchronizer.config = MarsitConfig(
-                global_lr=global_lr, seed=0, use_compensation=use_compensation
+                global_lr=global_lr, seed=0,
+                use_compensation=use_compensation, verify_consensus=False,
             )
             config = TrainConfig(
                 num_workers=M, rounds=100, batch_size=spec.batch_size,

@@ -1,0 +1,177 @@
+"""Lockstep-engine benchmark: simulated one-bit round wall-clock vs workers.
+
+PR 1 made every *kernel* 64-elements-per-op fast, which left the round loop
+dominated by Python interpreter overhead: O(M) sends, recvs, merges and RNG
+draws per synchronous step.  The lane-stacked engine collapses each step to
+one batched numpy op over all (cycle, position) lanes, so a round's cost
+stops scaling with worker count at the interpreter level.
+
+This bench times one Marsit one-bit ring round old-vs-new at
+M in {8, 16, 32, 64} workers, D = 1M elements.  Both engines consume
+identical per-rank RNG streams, so before timing the bench asserts their
+global updates, total bytes and total messages are exactly equal.  Results
+go to ``benchmarks/results/lockstep.txt`` and machine-readable
+``BENCH_lockstep.json`` at the repo root (separate ``full`` / ``check``
+keys, like the packed-kernel bench).
+
+Run the full benchmark (asserts the >= 4x floor at M = 32)::
+
+    PYTHONPATH=src python benchmarks/bench_lockstep.py
+
+or the seconds-long smoke mode the test suite wires in::
+
+    PYTHONPATH=src python benchmarks/bench_lockstep.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, save_report
+from repro.comm.cluster import Cluster
+from repro.comm.topology import ring_topology
+from repro.core.marsit import MarsitConfig, MarsitSynchronizer
+
+FULL_DIMENSION = 1_000_000
+FULL_WORKERS = (8, 16, 32, 64)
+CHECK_DIMENSION = 20_000
+CHECK_WORKERS = (4, 8)
+#: ISSUE acceptance floor, asserted in full mode only.
+MIN_SPEEDUP_M32 = 4.0
+_SEED = 7
+
+_JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_lockstep.json"
+
+
+def _run_engine(
+    engine: str, num_workers: int, dimension: int, updates: np.ndarray,
+    rounds: int,
+) -> tuple[float, list[np.ndarray], int, int]:
+    """Best per-round seconds plus outputs/traffic for one engine."""
+    cluster = Cluster(ring_topology(num_workers))
+    sync = MarsitSynchronizer(
+        MarsitConfig(
+            global_lr=0.01, seed=_SEED, engine=engine, verify_consensus=False
+        ),
+        num_workers,
+        dimension,
+    )
+    best = float("inf")
+    outputs = []
+    for round_idx in range(1, rounds + 1):
+        start = time.perf_counter()
+        report = sync.synchronize(cluster, updates, round_idx)
+        best = min(best, time.perf_counter() - start)
+        outputs.append(report.global_updates[0])
+    return best, outputs, cluster.total_bytes, cluster.total_messages
+
+
+def run_rounds(dimension: int, workers: tuple[int, ...], rounds: int) -> dict:
+    """Time scalar vs batched rounds per worker count; verify equivalence."""
+    results: dict = {}
+    rng = np.random.default_rng(5)
+    for num_workers in workers:
+        updates = rng.standard_normal((num_workers, dimension))
+        old_s, old_out, old_bytes, old_msgs = _run_engine(
+            "scalar", num_workers, dimension, updates, rounds
+        )
+        new_s, new_out, new_bytes, new_msgs = _run_engine(
+            "batched", num_workers, dimension, updates, rounds
+        )
+        for reference, candidate in zip(old_out, new_out):
+            if not np.array_equal(reference, candidate):
+                raise AssertionError(
+                    f"batched engine diverged from scalar at M={num_workers}"
+                )
+        if (old_bytes, old_msgs) != (new_bytes, new_msgs):
+            raise AssertionError(
+                f"traffic accounting diverged at M={num_workers}: "
+                f"{(old_bytes, old_msgs)} vs {(new_bytes, new_msgs)}"
+            )
+        results[str(num_workers)] = {
+            "old_s": old_s,
+            "new_s": new_s,
+            "speedup": old_s / max(new_s, 1e-12),
+        }
+    return results
+
+
+def _write_json(mode: str, dimension: int, workers: dict) -> None:
+    payload: dict = {}
+    if _JSON_PATH.exists():
+        try:
+            payload = json.loads(_JSON_PATH.read_text())
+        except (OSError, ValueError):
+            payload = {}
+    payload[mode] = {"dimension": dimension, "workers": workers}
+    try:
+        _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    except OSError:
+        pass  # read-only checkout: the printed table is still the output
+
+
+def _report(mode: str, dimension: int, workers: dict) -> str:
+    rows = [
+        [
+            f"M={num_workers}",
+            f"{entry['old_s'] * 1e3:.1f}",
+            f"{entry['new_s'] * 1e3:.1f}",
+            f"{entry['speedup']:.1f}x",
+        ]
+        for num_workers, entry in workers.items()
+    ]
+    table = format_table(
+        ["workers", "scalar ms/round", "batched ms/round", "speedup"], rows
+    )
+    return (
+        f"Lockstep one-bit ring round wall-clock "
+        f"({mode}, D={dimension})\n" + table
+    )
+
+
+def run_mode(mode: str) -> dict:
+    """Run ``'full'`` or ``'check'`` mode; persist JSON + text results."""
+    if mode == "full":
+        dimension, workers, rounds = FULL_DIMENSION, FULL_WORKERS, 3
+    else:
+        dimension, workers, rounds = CHECK_DIMENSION, CHECK_WORKERS, 2
+    results = run_rounds(dimension, workers, rounds)
+    _write_json(mode, dimension, results)
+    if mode == "full":
+        save_report("lockstep", _report(mode, dimension, results))
+    else:
+        print(_report(mode, dimension, results))
+    return results
+
+
+@pytest.mark.slow
+def test_lockstep(benchmark):
+    from benchmarks.conftest import run_once
+
+    results = run_once(benchmark, lambda: run_mode("full"))
+    assert results["32"]["speedup"] >= MIN_SPEEDUP_M32
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="seconds-long smoke mode (small input, no speedup asserts)",
+    )
+    args = parser.parse_args()
+    if args.check:
+        run_mode("check")
+        return
+    results = run_mode("full")
+    assert results["32"]["speedup"] >= MIN_SPEEDUP_M32, results
+
+
+if __name__ == "__main__":
+    main()

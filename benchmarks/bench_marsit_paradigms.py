@@ -53,7 +53,11 @@ def _run_experiment():
         for trial in range(TRIALS):
             cluster, extra = build()
             sync = MarsitSynchronizer(
-                MarsitConfig(global_lr=1.0, seed=trial, **extra), M, DIMENSION
+                MarsitConfig(
+                    global_lr=1.0, seed=trial, verify_consensus=False, **extra
+                ),
+                M,
+                DIMENSION,
             )
             report = sync.synchronize(
                 cluster, [g.copy() for g in gradients], 1

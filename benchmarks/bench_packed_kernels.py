@@ -35,6 +35,7 @@ import pathlib
 import time
 
 import numpy as np
+import pytest
 
 from repro.bench import format_table, save_report
 from repro.comm.bits import (
@@ -227,6 +228,7 @@ def run_mode(mode: str) -> dict:
     return kernels
 
 
+@pytest.mark.slow
 def test_packed_kernels(benchmark):
     from benchmarks.conftest import run_once
 

@@ -18,7 +18,10 @@ from repro.allreduce.cascading import cascading_ring_allreduce
 from repro.allreduce.gossip import gossip_average_round, gossip_mixing_matrix
 from repro.allreduce.ps import ps_allreduce
 from repro.allreduce.ring import (
+    PackedLaneGrid,
     SizedPayload,
+    lockstep_ring_all_gather,
+    lockstep_ring_reduce_scatter,
     parallel_ring_all_gather,
     parallel_ring_reduce_scatter,
     ring_all_gather,
@@ -33,10 +36,13 @@ from repro.allreduce.torus import torus_allreduce_mean, torus_allreduce_sum
 from repro.allreduce.tree import tree_allreduce
 
 __all__ = [
+    "PackedLaneGrid",
     "SizedPayload",
     "cascading_ring_allreduce",
     "gossip_average_round",
     "gossip_mixing_matrix",
+    "lockstep_ring_all_gather",
+    "lockstep_ring_reduce_scatter",
     "parallel_ring_all_gather",
     "parallel_ring_reduce_scatter",
     "ps_allreduce",

@@ -16,11 +16,15 @@ all share this schedule.
 from __future__ import annotations
 
 import inspect
+import weakref
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.comm.bits import (
+    PackedBits,
+    PackedBitsBatch,
     elias_gamma_encode,
     signed_int_bit_width,
     zigzag_encode,
@@ -29,7 +33,10 @@ from repro.comm.cluster import Cluster, SizedPayload
 from repro.comm.timing import Phase
 
 __all__ = [
+    "PackedLaneGrid",
     "SizedPayload",
+    "lockstep_ring_all_gather",
+    "lockstep_ring_reduce_scatter",
     "parallel_ring_all_gather",
     "parallel_ring_reduce_scatter",
     "ring_all_gather",
@@ -39,6 +46,9 @@ __all__ = [
     "signsum_ring_allreduce",
     "split_segments",
 ]
+
+_WORD_DTYPE = np.dtype("<u8")
+_WORD_BITS = 64
 
 Combine = Callable[[Any, Any, int], Any]
 """(received_payload, local_segment, step_index) -> new local segment.
@@ -51,8 +61,22 @@ call counters.
 """
 
 
+#: ``inspect.signature`` costs microseconds per call, which adds up when a
+#: schedule probes the same combine every all-reduce; the verdict is a pure
+#: function of the callable, so memoize it without pinning the callable alive.
+_ACCEPTS_RANK_CACHE: "weakref.WeakKeyDictionary[Any, bool]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def _accepts_rank(combine: Combine) -> bool:
     """True when ``combine`` takes a fourth positional ``rank`` argument."""
+    try:
+        cached = _ACCEPTS_RANK_CACHE.get(combine)
+    except TypeError:  # unhashable / non-weakrefable callables: probe fresh
+        cached = None
+    if cached is not None:
+        return cached
     try:
         parameters = inspect.signature(combine).parameters.values()
     except (TypeError, ValueError):
@@ -63,22 +87,37 @@ def _accepts_rank(combine: Combine) -> bool:
         if p.kind
         in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
     ]
-    if any(p.kind == p.VAR_POSITIONAL for p in positional):
-        return True
-    return len(positional) >= 4
+    verdict = (
+        any(p.kind == p.VAR_POSITIONAL for p in positional)
+        or len(positional) >= 4
+    )
+    try:
+        _ACCEPTS_RANK_CACHE[combine] = verdict
+    except TypeError:
+        pass
+    return verdict
 
 
-def split_segments(vector: np.ndarray, num_segments: int) -> list[np.ndarray]:
+def split_segments(
+    vector: np.ndarray, num_segments: int, copy: bool = True
+) -> list[np.ndarray]:
     """Split a 1-D vector into ``num_segments`` nearly equal segments.
 
     ``np.array_split`` semantics: the first ``len % num_segments`` segments
     get one extra element, and segments may be empty when
     ``len < num_segments`` (still correct, just zero-byte hops).
+
+    ``copy=False`` returns views into ``vector`` — for callers that
+    immediately repack or cast every segment (``PackedBits.from_signs``,
+    wire-dtype ``astype``) the defensive copy is pure overhead.
     """
     vector = np.asarray(vector)
     if vector.ndim != 1:
         raise ValueError("split_segments expects a 1-D vector")
-    return [segment.copy() for segment in np.array_split(vector, num_segments)]
+    parts = np.array_split(vector, num_segments)
+    if not copy:
+        return parts
+    return [segment.copy() for segment in parts]
 
 
 def _ring_ranks(cluster: Cluster, ranks: Sequence[int] | None) -> list[int]:
@@ -192,6 +231,238 @@ def parallel_ring_all_gather(
         cluster.end_step()
 
 
+@dataclass
+class PackedLaneGrid:
+    """Mutable ``(lanes, segments, width)`` stack of packed bit segments.
+
+    The lockstep engine's working set: lane ``l`` is one (cycle, position)
+    pair of a parallel ring schedule, and ``words[l, s]`` holds segment ``s``
+    of that lane's vector in :class:`~repro.comm.bits.PackedBits` word layout
+    (zero-padded to the shared ``width``).  A synchronous step then gathers
+    one ``(lanes, width)`` plane with a single fancy index, merges it with
+    one batched expression, and scatters it back — no per-worker Python.
+
+    ``lengths[l, s]`` is the logical bit count of each segment; padding words
+    past a segment's data are zero, so any row prefix is a valid
+    :class:`~repro.comm.bits.PackedBits` and :meth:`row` can return a
+    zero-copy view.
+    """
+
+    words: np.ndarray
+    lengths: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.words = np.ascontiguousarray(self.words, dtype=_WORD_DTYPE)
+        self.lengths = np.asarray(self.lengths, dtype=np.int64)
+        if self.words.ndim != 3:
+            raise ValueError("PackedLaneGrid words must be 3-D")
+        if self.lengths.shape != self.words.shape[:2]:
+            raise ValueError("lengths must be (lanes, segments)")
+
+    @property
+    def num_lanes(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def num_segments(self) -> int:
+        return self.words.shape[1]
+
+    @property
+    def width(self) -> int:
+        return self.words.shape[2]
+
+    @classmethod
+    def from_sign_matrix(
+        cls, matrix: np.ndarray, num_segments: int
+    ) -> "PackedLaneGrid":
+        """Pack a ``(lanes, D)`` sign matrix, split like :func:`split_segments`.
+
+        One vectorized pack per segment (all lanes at once); segment
+        boundaries follow ``np.array_split`` semantics so the grid lines up
+        bit-for-bit with the scalar path's per-worker segment lists.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("from_sign_matrix expects a 2-D matrix")
+        if num_segments < 1:
+            raise ValueError("num_segments must be >= 1")
+        lanes, dim = matrix.shape
+        base, extra = divmod(dim, num_segments)
+        seg_lengths = np.full(num_segments, base, dtype=np.int64)
+        seg_lengths[:extra] += 1
+        width = (int(seg_lengths.max()) + _WORD_BITS - 1) // _WORD_BITS
+        words = np.zeros((lanes, num_segments, width), dtype=_WORD_DTYPE)
+        lengths = np.broadcast_to(seg_lengths, (lanes, num_segments)).copy()
+        start = 0
+        for seg, seg_len in enumerate(seg_lengths):
+            if seg_len:
+                batch = PackedBitsBatch.from_sign_matrix(
+                    matrix[:, start : start + seg_len]
+                )
+                words[:, seg, : batch.width] = batch.words
+            start += seg_len
+        return cls(words=words, lengths=lengths)
+
+    @classmethod
+    def from_packed_rows(
+        cls, rows: Sequence[Sequence[PackedBits]]
+    ) -> "PackedLaneGrid":
+        """Stack per-lane :class:`PackedBits` segment lists into one grid."""
+        lanes = len(rows)
+        if not lanes:
+            raise ValueError("at least one lane required")
+        segs = len(rows[0])
+        if any(len(row) != segs for row in rows):
+            raise ValueError("every lane must hold the same segment count")
+        lengths = np.array(
+            [[part.length for part in row] for row in rows], dtype=np.int64
+        )
+        width = (
+            int(lengths.max()) + _WORD_BITS - 1
+        ) // _WORD_BITS if lengths.size else 0
+        words = np.zeros((lanes, segs, width), dtype=_WORD_DTYPE)
+        for lane, row in enumerate(rows):
+            for seg, part in enumerate(row):
+                if not isinstance(part, PackedBits):
+                    raise TypeError(f"expected PackedBits, got {type(part)!r}")
+                words[lane, seg, : part.words.size] = part.words
+        return cls(words=words, lengths=lengths)
+
+    def row(self, lane: int, seg: int) -> PackedBits:
+        """Segment ``(lane, seg)`` as a zero-copy :class:`PackedBits` view."""
+        length = int(self.lengths[lane, seg])
+        num_words = (length + _WORD_BITS - 1) // _WORD_BITS
+        return PackedBits(words=self.words[lane, seg, :num_words], length=length)
+
+    def segments_of(self, lane: int) -> list[PackedBits]:
+        """All of one lane's segments, in order, as zero-copy views."""
+        return [self.row(lane, seg) for seg in range(self.num_segments)]
+
+    def set_row(self, lane: int, seg: int, packed: PackedBits) -> None:
+        """Replace segment ``(lane, seg)``, re-zeroing the padding words."""
+        if packed.words.size > self.width:
+            raise ValueError(
+                f"segment of {packed.length} bits exceeds grid width"
+            )
+        self.words[lane, seg, : packed.words.size] = packed.words
+        self.words[lane, seg, packed.words.size :] = 0
+        self.lengths[lane, seg] = packed.length
+
+
+#: Lockstep combine: (received_batch, local_batch, step, receiving_ranks)
+#: -> merged batch.  One call merges every lane of a synchronous step.
+BatchCombine = Callable[
+    [PackedBitsBatch, PackedBitsBatch, int, Sequence[int]], PackedBitsBatch
+]
+
+
+def _lockstep_lanes(
+    cycles: Sequence[Sequence[int]], grid: PackedLaneGrid
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    """Shared lane bookkeeping for the lockstep schedules.
+
+    Lane order is cycle-major: lane ``c * size + p`` is position ``p`` of
+    cycle ``c`` — the same flattening :meth:`PackedLaneGrid.from_sign_matrix`
+    assumes when the caller stacks vectors rank-by-rank.
+    """
+    sizes = {len(cycle) for cycle in cycles}
+    if len(sizes) > 1:
+        raise ValueError("all cycles must have equal length")
+    size = next(iter(sizes))
+    num_cycles = len(cycles)
+    lanes = num_cycles * size
+    if grid.num_lanes != lanes or grid.num_segments != size:
+        raise ValueError(
+            f"grid of {grid.num_lanes}x{grid.num_segments} does not match "
+            f"{num_cycles} cycles of length {size}"
+        )
+    pos = np.tile(np.arange(size), num_cycles)
+    base = np.repeat(np.arange(num_cycles) * size, size)
+    src_lane = base + (pos - 1) % size
+    ranks = [rank for cycle in cycles for rank in cycle]
+    return size, pos, src_lane, np.arange(lanes), ranks
+
+
+def lockstep_ring_reduce_scatter(
+    cluster: Cluster,
+    cycles: Sequence[Sequence[int]],
+    grid: PackedLaneGrid,
+    combine: BatchCombine,
+    tag: str = "rs",
+    on_step_end: Callable[[int, float], None] | None = None,
+) -> list[list[int]]:
+    """Batched :func:`parallel_ring_reduce_scatter` over a packed lane grid.
+
+    Same schedule, same ownership result, same traffic accounting — but each
+    synchronous step is one fancy-index gather, one ``combine`` over a
+    :class:`~repro.comm.bits.PackedBitsBatch`, one scatter, and one bulk
+    :meth:`~repro.comm.cluster.Cluster.exchange`, independent of worker
+    count.  ``combine`` receives the receiving ranks in lane order so
+    stateful combiners (per-rank RNG streams) stay bit-identical to the
+    scalar path.
+    """
+    if not cycles:
+        return []
+    size, pos, src_lane, lane_idx, ranks = _lockstep_lanes(cycles, grid)
+    rank_arr = np.asarray(ranks)
+    src_rank = rank_arr[src_lane]
+    for step in range(size - 1):
+        seg = (pos - 1 - step) % size
+        received = PackedBitsBatch._trusted(
+            grid.words[src_lane, seg], grid.lengths[src_lane, seg]
+        )
+        local = PackedBitsBatch._trusted(
+            grid.words[lane_idx, seg], grid.lengths[lane_idx, seg]
+        )
+        merged = combine(received, local, step, ranks)
+        grid.words[lane_idx, seg] = merged.words
+        grid.lengths[lane_idx, seg] = merged.lengths
+        nbytes = (received.lengths + 7) // 8
+        elapsed = cluster.exchange(
+            [
+                (int(src_rank[i]), int(rank_arr[i]), int(nbytes[i]))
+                for i in range(lane_idx.size)
+            ],
+            tag=f"{tag}:{step}",
+        )
+        if on_step_end is not None:
+            on_step_end(step, elapsed)
+    return [[(p + 1) % size for p in range(size)] for _ in cycles]
+
+
+def lockstep_ring_all_gather(
+    cluster: Cluster,
+    cycles: Sequence[Sequence[int]],
+    grid: PackedLaneGrid,
+    tag: str = "ag",
+) -> None:
+    """Batched :func:`parallel_ring_all_gather` over a packed lane grid.
+
+    Assumes the ownership layout of :func:`lockstep_ring_reduce_scatter`
+    (position ``p`` owns segment ``(p + 1) % size``); mutates the grid in
+    place, circulating whole word rows with fancy-index copies.
+    """
+    if not cycles:
+        return
+    size, pos, src_lane, lane_idx, ranks = _lockstep_lanes(cycles, grid)
+    rank_arr = np.asarray(ranks)
+    src_rank = rank_arr[src_lane]
+    for step in range(size - 1):
+        seg = (pos - step) % size
+        moved_words = grid.words[src_lane, seg]
+        moved_lengths = grid.lengths[src_lane, seg]
+        grid.words[lane_idx, seg] = moved_words
+        grid.lengths[lane_idx, seg] = moved_lengths
+        nbytes = (moved_lengths + 7) // 8
+        cluster.exchange(
+            [
+                (int(src_rank[i]), int(rank_arr[i]), int(nbytes[i]))
+                for i in range(lane_idx.size)
+            ],
+            tag=f"{tag}:{step}",
+        )
+
+
 def ring_reduce_scatter(
     cluster: Cluster,
     segments: list[list[Any]],
@@ -260,7 +531,8 @@ def ring_allreduce_sum(
         return np.asarray(segment, dtype=wire_dtype)
 
     segments = [
-        [to_wire(seg) for seg in split_segments(vector, size)] for vector in vectors
+        [to_wire(seg) for seg in split_segments(vector, size, copy=False)]
+        for vector in vectors
     ]
     ring_reduce_scatter(cluster, segments, _add_combine, ranks=cycle)
     ring_all_gather(cluster, segments, ranks=cycle)
@@ -341,7 +613,12 @@ def signsum_ring_allreduce(
         return SizedPayload(value=segment, nbytes=nbytes)
 
     segments: list[list[Any]] = [
-        [wrap(seg, 1) for seg in split_segments(np.asarray(vec, dtype=np.int64), size)]
+        [
+            wrap(seg, 1)
+            for seg in split_segments(
+                np.asarray(vec, dtype=np.int64), size, copy=False
+            )
+        ]
         for vec in sign_vectors
     ]
 

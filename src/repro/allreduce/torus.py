@@ -91,7 +91,7 @@ def torus_allreduce_sum(
             [
                 [
                     np.asarray(seg, dtype=wire_dtype)
-                    for seg in split_segments(vectors[rank], cols)
+                    for seg in split_segments(vectors[rank], cols, copy=False)
                 ]
                 for rank in cycle
             ]
@@ -120,6 +120,7 @@ def torus_allreduce_sum(
                             row_segments[rank][owned_index[rank]], dtype=np.float64
                         ),
                         rows,
+                        copy=False,
                     )
                 ]
                 for rank in cycle
@@ -210,7 +211,8 @@ def signsum_torus_allreduce(
         all_segments = [
             [
                 [wrap(seg, 1) for seg in split_segments(
-                    np.asarray(sign_vectors[rank], dtype=np.int64), cols)]
+                    np.asarray(sign_vectors[rank], dtype=np.int64),
+                    cols, copy=False)]
                 for rank in cycle
             ]
             for cycle in rows_list
@@ -238,7 +240,8 @@ def signsum_torus_allreduce(
         col_segments = [
             [
                 [wrap(seg, cols) for seg in split_segments(
-                    row_segments[rank][owned_index[rank]].value, rows)]
+                    row_segments[rank][owned_index[rank]].value,
+                    rows, copy=False)]
                 for rank in cycle
             ]
             for cycle in cols_list

@@ -13,6 +13,7 @@ This package provides everything below the all-reduce layer:
 from repro.comm.bits import (
     BitVector,
     PackedBits,
+    PackedBitsBatch,
     elias_delta_decode,
     elias_delta_encode,
     elias_gamma_decode,
@@ -39,6 +40,7 @@ __all__ = [
     "Link",
     "Message",
     "PackedBits",
+    "PackedBitsBatch",
     "Phase",
     "TimeLine",
     "Topology",

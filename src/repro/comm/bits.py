@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -36,6 +37,7 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "BitVector",
     "PackedBits",
+    "PackedBitsBatch",
     "elias_delta_decode",
     "elias_delta_decode_reference",
     "elias_delta_encode",
@@ -378,6 +380,236 @@ class PackedBits:
                 out[byte0 + 1 : stop] |= high[: stop - byte0 - 1]
             offset += part.length
         return cls(words=_bytes_to_words(out, total), length=total)
+
+
+@dataclass(frozen=True, eq=False)
+class PackedBitsBatch:
+    """Lane-stacked bit vectors: one ``(lanes, width)`` ``uint64`` matrix.
+
+    Row ``i`` holds a bit vector of ``lengths[i]`` logical bits in the same
+    little-endian bit-plane layout as :class:`PackedBits`, zero-padded to a
+    shared word ``width``, so a whole synchronous step of the lockstep
+    simulation — every (cycle, position) lane at once — runs as *one* numpy
+    operation instead of one Python call per lane.
+
+    Invariants mirror :class:`PackedBits` per row: every padding bit past
+    ``lengths[i]`` is zero, so AND/OR/XOR across the full matrix need no
+    masking and a row prefix view *is* a valid :class:`PackedBits`.
+    :meth:`row` returns exactly that zero-copy view.
+    """
+
+    words: np.ndarray = field(repr=False)
+    lengths: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        words = np.asarray(self.words, dtype=_WORD_DTYPE)
+        lengths = np.asarray(self.lengths, dtype=np.int64)
+        if words.ndim != 2:
+            raise ValueError("PackedBitsBatch words must be 2-D")
+        if lengths.ndim != 1 or lengths.size != words.shape[0]:
+            raise ValueError("lengths must hold one entry per lane")
+        if lengths.size and lengths.min() < 0:
+            raise ValueError("lengths must be non-negative")
+        needed = int(lengths.max()) if lengths.size else 0
+        if words.shape[1] < (needed + _WORD_BITS - 1) // _WORD_BITS:
+            raise ValueError(
+                f"width {words.shape[1]} words cannot hold "
+                f"{needed}-bit lanes"
+            )
+        if words.size:
+            # Per-row padding must be zero: whole words past each row's
+            # data, plus the tail bits of each row's last partial word.
+            col = np.arange(words.shape[1], dtype=np.int64)
+            full = (lengths + _WORD_BITS - 1) // _WORD_BITS
+            if words[col[None, :] >= full[:, None]].any():
+                raise ValueError("PackedBitsBatch padding words must be zero")
+            tail = lengths % _WORD_BITS
+            ragged = np.flatnonzero(tail)
+            if ragged.size:
+                last = words[ragged, lengths[ragged] // _WORD_BITS]
+                mask = (_WORD_DTYPE.type(1) << tail[ragged].astype(np.uint64)) - 1
+                if (last & ~mask).any():
+                    raise ValueError("PackedBitsBatch padding bits must be zero")
+        object.__setattr__(self, "words", words)
+        object.__setattr__(self, "lengths", lengths)
+
+    @classmethod
+    def _trusted(cls, words: np.ndarray, lengths: np.ndarray) -> "PackedBitsBatch":
+        """Wrap arrays whose invariants the caller guarantees (hot path)."""
+        batch = object.__new__(cls)
+        object.__setattr__(batch, "words", words)
+        object.__setattr__(batch, "lengths", lengths)
+        return batch
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bit_matrix(
+        cls,
+        bits: np.ndarray,
+        lengths: np.ndarray | None = None,
+        width: int | None = None,
+    ) -> "PackedBitsBatch":
+        """Pack a ``(lanes, n)`` 0/1 matrix, one lane per row.
+
+        ``lengths`` (default: all ``n``) marks each lane's valid prefix;
+        columns at or past a lane's length are zeroed before packing, so
+        ragged lanes share one rectangular buffer.  ``width`` pads the word
+        matrix wider than ``n`` needs — used to match an existing batch's
+        buffer so word-level operators line up.
+        """
+        bits = np.asarray(bits)
+        if bits.ndim != 2:
+            raise ValueError("from_bit_matrix expects a 2-D array")
+        if bits.size and not _is_trusted_bits(bits) and not _binary_valued(bits):
+            raise ValueError("from_bit_matrix expects only 0/1 values")
+        lanes, n = bits.shape
+        if lengths is None:
+            lengths = np.full(lanes, n, dtype=np.int64)
+        else:
+            lengths = np.asarray(lengths, dtype=np.int64)
+            if lengths.shape != (lanes,):
+                raise ValueError("lengths must hold one entry per lane")
+            if lengths.size and (lengths.min() < 0 or lengths.max() > n):
+                raise ValueError("lengths must lie in [0, columns]")
+            bits = bits & (np.arange(n) < lengths[:, None])
+        min_width = (n + _WORD_BITS - 1) // _WORD_BITS
+        if width is None:
+            width = min_width
+        elif width < min_width:
+            raise ValueError(f"width {width} cannot hold {n}-bit lanes")
+        return cls._trusted(_pack_bit_rows(bits, width), lengths)
+
+    @classmethod
+    def from_sign_matrix(cls, signs: np.ndarray) -> "PackedBitsBatch":
+        """Pack a ``(lanes, n)`` sign matrix; ``>= 0`` maps to bit 1."""
+        return cls.from_bit_matrix(np.asarray(signs) >= 0)
+
+    @classmethod
+    def from_rows(
+        cls, parts: Sequence[PackedBits], width: int | None = None
+    ) -> "PackedBitsBatch":
+        """Stack :class:`PackedBits` rows into one shared-width buffer."""
+        lengths = np.array([part.length for part in parts], dtype=np.int64)
+        needed = int(lengths.max()) if lengths.size else 0
+        min_width = (needed + _WORD_BITS - 1) // _WORD_BITS
+        if width is None:
+            width = min_width
+        elif width < min_width:
+            raise ValueError(f"width {width} cannot hold {needed}-bit lanes")
+        words = np.zeros((len(parts), width), dtype=_WORD_DTYPE)
+        for i, part in enumerate(parts):
+            if not isinstance(part, PackedBits):
+                raise TypeError(f"expected PackedBits, got {type(part)!r}")
+            words[i, : part.words.size] = part.words
+        return cls._trusted(words, lengths)
+
+    def row(self, index: int) -> PackedBits:
+        """Lane ``index`` as a zero-copy :class:`PackedBits` view."""
+        length = int(self.lengths[index])
+        num_words = (length + _WORD_BITS - 1) // _WORD_BITS
+        return PackedBits(words=self.words[index, :num_words], length=length)
+
+    def rows(self) -> list[PackedBits]:
+        """All lanes as zero-copy :class:`PackedBits` views."""
+        return [self.row(index) for index in range(self.num_lanes)]
+
+    # ------------------------------------------------------------------
+    # batched word-level ops
+    # ------------------------------------------------------------------
+    @property
+    def num_lanes(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Shared row width in ``uint64`` words."""
+        return self.words.shape[1]
+
+    @property
+    def nbytes_per_lane(self) -> np.ndarray:
+        """Wire bytes per lane: ``ceil(length / 8)``, as for PackedBits."""
+        return (self.lengths + 7) // 8
+
+    def __len__(self) -> int:
+        return self.num_lanes
+
+    def _check_compatible(self, other: "PackedBitsBatch") -> None:
+        if not isinstance(other, PackedBitsBatch):
+            raise TypeError(f"expected PackedBitsBatch, got {type(other)!r}")
+        if other.words.shape != self.words.shape or not np.array_equal(
+            other.lengths, self.lengths
+        ):
+            raise ValueError("batch shape/length mismatch")
+
+    def __and__(self, other: "PackedBitsBatch") -> "PackedBitsBatch":
+        self._check_compatible(other)
+        return PackedBitsBatch._trusted(self.words & other.words, self.lengths)
+
+    def __or__(self, other: "PackedBitsBatch") -> "PackedBitsBatch":
+        self._check_compatible(other)
+        return PackedBitsBatch._trusted(self.words | other.words, self.lengths)
+
+    def __xor__(self, other: "PackedBitsBatch") -> "PackedBitsBatch":
+        self._check_compatible(other)
+        return PackedBitsBatch._trusted(self.words ^ other.words, self.lengths)
+
+    def invert(self) -> "PackedBitsBatch":
+        """Bitwise NOT over every lane's logical bits (padding stays zero)."""
+        out = np.bitwise_not(self.words)
+        _mask_row_padding(out, self.lengths)
+        return PackedBitsBatch._trusted(out, self.lengths)
+
+    def popcounts(self) -> np.ndarray:
+        """Set-bit count per lane (word-parallel)."""
+        if hasattr(np, "bitwise_count"):
+            return np.bitwise_count(self.words).sum(axis=1, dtype=np.int64)
+        return np.array(
+            [self.row(index).popcount() for index in range(self.num_lanes)],
+            dtype=np.int64,
+        )
+
+    def equals(self, other: "PackedBitsBatch") -> bool:
+        """Exact equality over all lanes by word comparison."""
+        return (
+            isinstance(other, PackedBitsBatch)
+            and np.array_equal(other.lengths, self.lengths)
+            and bool(np.array_equal(self.words, other.words))
+        )
+
+    def all_lanes_equal(self) -> bool:
+        """True when every lane holds identical bits (consensus check)."""
+        if self.num_lanes <= 1:
+            return True
+        if self.lengths.size and (self.lengths != self.lengths[0]).any():
+            return False
+        return bool((self.words == self.words[0]).all())
+
+
+def _pack_bit_rows(bits: np.ndarray, width: int) -> np.ndarray:
+    """Pack a ``(lanes, n)`` 0/1 matrix into ``(lanes, width)`` words."""
+    lanes = bits.shape[0]
+    packed = np.packbits(
+        bits.astype(np.uint8, copy=False), axis=1, bitorder="little"
+    )
+    out = np.zeros((lanes, width * 8), dtype=np.uint8)
+    out[:, : packed.shape[1]] = packed
+    return out.view(_WORD_DTYPE)
+
+
+def _mask_row_padding(words: np.ndarray, lengths: np.ndarray) -> None:
+    """Zero every bit at or past ``lengths[i]`` in row ``i``, in place."""
+    if not words.size:
+        return
+    col = np.arange(words.shape[1], dtype=np.int64)
+    full = (lengths + _WORD_BITS - 1) // _WORD_BITS
+    words[col[None, :] >= full[:, None]] = 0
+    tail = lengths % _WORD_BITS
+    ragged = np.flatnonzero(tail)
+    if ragged.size:
+        mask = (_WORD_DTYPE.type(1) << tail[ragged].astype(np.uint64)) - 1
+        words[ragged, lengths[ragged] // _WORD_BITS] &= mask
 
 
 def _bytes_to_words(raw: np.ndarray, length: int) -> np.ndarray:

@@ -110,13 +110,28 @@ class Worker:
         self.mailbox[(message.src, message.tag)].append(message)
 
     def take(self, src: int, tag: str = "") -> Message:
-        queue = self.mailbox[(src, tag)]
+        """Pop the oldest message from ``(src, tag)``, pruning empty queues.
+
+        Schedules use per-step tags (``"m-rs:0"``, ``"m-seg{start}-rs"``,
+        ...), so a queue that is not dropped once drained — or worse, one
+        *created* by a failed probe — leaks a dict entry per (src, tag) pair
+        forever.  Misses therefore never insert, and the queue is deleted
+        the moment its last message is taken, keeping the mailbox bounded by
+        the number of in-flight messages.
+        """
+        key = (src, tag)
+        queue = self.mailbox.get(key)
         if not queue:
+            if queue is not None:
+                del self.mailbox[key]
             raise LookupError(
                 f"worker {self.rank} has no pending message from {src} "
                 f"with tag {tag!r}"
             )
-        return queue.popleft()
+        message = queue.popleft()
+        if not queue:
+            del self.mailbox[key]
+        return message
 
     def pending(self) -> int:
         return sum(len(queue) for queue in self.mailbox.values())
@@ -204,6 +219,60 @@ class Cluster:
             if self.strict:
                 raise
             return None
+
+    def exchange(
+        self,
+        transfers: "Sequence[tuple[int, int, Any]]",
+        tag: str = "",
+    ) -> float:
+        """Run one whole synchronous step's transfers in a single call.
+
+        The bulk equivalent of ``begin_step`` + per-message ``send``/``recv``
+        + ``end_step`` for lockstep engines whose payloads live stacked in a
+        lane matrix: data moves inside the caller's buffers, and this call
+        performs the *accounting* for every transfer in one pass — per-link
+        and global byte/message counters plus the step's makespan charged to
+        the timeline, identical to what the per-message path would record.
+        Mailboxes are not involved.
+
+        Each transfer is ``(src, dst, payload)``.  A plain ``int`` payload is
+        a pre-computed wire size in bytes (the lane-stacked case, where no
+        per-message object ever materializes); anything else is sized via
+        :func:`payload_nbytes`.
+
+        Returns the step's elapsed (makespan) seconds, like ``end_step``.
+        """
+        if self._in_step:
+            raise RuntimeError("cannot exchange inside an open step")
+        step_bytes: dict[tuple[int, int], int] = {}
+        links = self.links
+        total = 0
+        count = 0
+        for src, dst, payload in transfers:
+            key = (src, dst)
+            link = links.get(key)
+            if link is None:
+                raise ValueError(
+                    f"no link {src} -> {dst} in {self.topology.name} topology"
+                )
+            nbytes = payload if type(payload) is int else payload_nbytes(payload)
+            if nbytes < 0:
+                raise ValueError("nbytes must be non-negative")
+            link.bytes_sent += nbytes
+            link.messages_sent += 1
+            total += nbytes
+            count += 1
+            step_bytes[key] = step_bytes.get(key, 0) + nbytes
+        self.total_bytes += total
+        self.total_messages += count
+        if not step_bytes:
+            return 0.0
+        elapsed = max(
+            self._link_transfer_time(link, nbytes)
+            for link, nbytes in step_bytes.items()
+        )
+        self.timeline.add(Phase.COMMUNICATION, elapsed)
+        return elapsed
 
     # ------------------------------------------------------------------
     # synchronous stepping for the timing model

@@ -14,8 +14,10 @@ from repro.core.optimizer import MarsitAdam, MarsitMomentum, MarsitSGD
 from repro.core.sign_ops import (
     expected_merge_probability,
     merge_sign_bits,
+    merge_sign_bits_batch,
     merge_sign_bits_packed,
     transient_vector,
+    transient_vector_batch,
     transient_vector_packed,
 )
 
@@ -28,7 +30,9 @@ __all__ = [
     "MarsitSynchronizer",
     "expected_merge_probability",
     "merge_sign_bits",
+    "merge_sign_bits_batch",
     "merge_sign_bits_packed",
     "transient_vector",
+    "transient_vector_batch",
     "transient_vector_packed",
 ]

@@ -28,6 +28,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.allreduce.ring import (
+    PackedLaneGrid,
+    lockstep_ring_all_gather,
+    lockstep_ring_reduce_scatter,
     parallel_ring_all_gather,
     parallel_ring_reduce_scatter,
     ring_allreduce_mean,
@@ -39,11 +42,13 @@ from repro.allreduce.torus import (
     torus_allreduce_mean,
     torus_rows_cols,
 )
-from repro.comm.bits import PackedBits
+from repro.comm.bits import PackedBits, PackedBitsBatch
 from repro.comm.cluster import Cluster
 from repro.comm.timing import Phase
 from repro.core.sign_ops import (
+    merge_sign_bits_batch,
     merge_sign_bits_packed,
+    transient_vector_batch,
     transient_vector_packed,
 )
 
@@ -72,6 +77,14 @@ class MarsitConfig:
             into fixed-size pipeline segments, each synchronized by its own
             ring pass — Section 5's "easily extended to segmented-ring
             all-reduce".
+        engine: ``"batched"`` (default) runs the lane-stacked lockstep
+            path — every synchronous step's merges and transfers execute as
+            one numpy op over all (cycle, position) lanes; ``"scalar"`` keeps
+            the per-message reference path.  Both consume identical per-rank
+            RNG streams, so results are bit-for-bit equal.
+        verify_consensus: assert after every one-bit round that all workers
+            hold identical bits.  The check costs O(M * D) per round, so
+            benchmarks turn it off.
     """
 
     global_lr: float
@@ -80,6 +93,8 @@ class MarsitConfig:
     global_lr_schedule: Callable[[int], float] | None = None
     use_compensation: bool = True
     segment_elems: int | None = None
+    engine: str = "batched"
+    verify_consensus: bool = True
 
     def __post_init__(self) -> None:
         if self.global_lr <= 0:
@@ -88,6 +103,10 @@ class MarsitConfig:
             raise ValueError("full_precision_every must be >= 1 or None")
         if self.segment_elems is not None and self.segment_elems < 1:
             raise ValueError("segment_elems must be >= 1 or None")
+        if self.engine not in ("batched", "scalar"):
+            raise ValueError(
+                f"engine must be 'batched' or 'scalar', got {self.engine!r}"
+            )
 
     def is_full_precision_round(self, round_idx: int) -> bool:
         if self.full_precision_every is None:
@@ -102,15 +121,27 @@ class MarsitConfig:
 
 @dataclass
 class MarsitState:
-    """Per-worker compensation vectors ``c_t^(m)``."""
+    """Per-worker compensation vectors ``c_t^(m)``, stacked ``(M, D)``.
 
-    compensation: list[np.ndarray]
+    One contiguous matrix instead of a list of per-worker vectors, so the
+    round update ``c <- g - g_t`` is a single broadcast expression.  Row
+    ``compensation[m]`` is still worker ``m``'s vector, so indexing callers
+    (checkpointing, tests) are unchanged; a list of equal-length vectors is
+    accepted and stacked.
+    """
+
+    compensation: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.compensation = np.asarray(self.compensation, dtype=np.float64)
+        if self.compensation.ndim != 2:
+            raise ValueError(
+                "compensation must be a (num_workers, dimension) matrix"
+            )
 
     @classmethod
     def zeros(cls, num_workers: int, dimension: int) -> "MarsitState":
-        return cls(
-            compensation=[np.zeros(dimension) for _ in range(num_workers)]
-        )
+        return cls(compensation=np.zeros((num_workers, dimension)))
 
 
 @dataclass
@@ -175,21 +206,21 @@ class MarsitSynchronizer:
             raise ValueError("cluster size does not match synchronizer")
         if len(updates) != self.num_workers:
             raise ValueError("one update vector per worker required")
-        compensated = [
-            np.asarray(update, dtype=np.float64) + self.state.compensation[m]
-            for m, update in enumerate(updates)
-        ]
-        for vector in compensated:
+        stacked = [np.asarray(update, dtype=np.float64) for update in updates]
+        for vector in stacked:
             if vector.shape != (self.dimension,):
                 raise ValueError(
                     f"update dimension {vector.shape} != ({self.dimension},)"
                 )
+        # One (M, D) matrix expression forms every worker's compensated
+        # update at once (line 1 of Algorithm 1).
+        compensated = np.stack(stacked) + self.state.compensation
 
         if self.config.is_full_precision_round(round_idx):
             global_updates = self._full_precision_sync(cluster, compensated)
-            self.state.compensation = [
-                np.zeros(self.dimension) for _ in range(self.num_workers)
-            ]
+            self.state.compensation = np.zeros(
+                (self.num_workers, self.dimension)
+            )
             return SyncReport(
                 round_idx=round_idx,
                 full_precision=True,
@@ -201,13 +232,11 @@ class MarsitSynchronizer:
         eta_s = self.config.effective_global_lr(round_idx)
         global_update = eta_s * consensus_signs
         if self.config.use_compensation:
-            self.state.compensation = [
-                compensated[m] - global_update for m in range(self.num_workers)
-            ]
+            self.state.compensation = compensated - global_update
         else:
-            self.state.compensation = [
-                np.zeros(self.dimension) for _ in range(self.num_workers)
-            ]
+            self.state.compensation = np.zeros(
+                (self.num_workers, self.dimension)
+            )
         return SyncReport(
             round_idx=round_idx,
             full_precision=False,
@@ -219,26 +248,42 @@ class MarsitSynchronizer:
     # one-bit path
     # ------------------------------------------------------------------
     def _one_bit_sync(
-        self, cluster: Cluster, vectors: list[np.ndarray]
+        self, cluster: Cluster, vectors: np.ndarray
     ) -> np.ndarray:
-        """Multi-hop sign aggregation; returns the consensus ``{-1,+1}``."""
+        """Multi-hop sign aggregation; returns the consensus ``{-1,+1}``.
+
+        ``vectors`` is the stacked ``(M, D)`` compensated-update matrix; the
+        scalar engine indexes its rows, the batched engine consumes it whole.
+        """
         if self.num_workers == 1:
             bits = (vectors[0] >= 0).astype(np.uint8)
             return bits.astype(np.float64) * 2.0 - 1.0
+        batched = self.config.engine == "batched"
         if cluster.topology.name == "ring":
             if self.config.segment_elems is not None:
-                final = self._one_bit_segmented_ring(cluster, vectors)
+                runner = (
+                    self._one_bit_segmented_ring_batched
+                    if batched
+                    else self._one_bit_segmented_ring
+                )
             else:
-                final = self._one_bit_ring(cluster, vectors)
+                runner = (
+                    self._one_bit_ring_batched if batched else self._one_bit_ring
+                )
         elif cluster.topology.name == "torus":
-            final = self._one_bit_torus(cluster, vectors)
+            runner = (
+                self._one_bit_torus_batched if batched else self._one_bit_torus
+            )
         elif cluster.topology.name == "tree":
-            final = self._one_bit_tree(cluster, vectors)
+            runner = (
+                self._one_bit_tree_batched if batched else self._one_bit_tree
+            )
         else:
             raise ValueError(
                 f"Marsit one-bit sync supports ring/torus/tree topologies, "
                 f"got {cluster.topology.name!r}"
             )
+        final = runner(cluster, vectors)
         # The single unpack of the whole pipeline: words -> {-1, +1} floats.
         return final.to_signs()
 
@@ -248,7 +293,7 @@ class MarsitSynchronizer:
         """Split and pack ``sgn`` (+1-at-zero) once, at compression time."""
         return [
             PackedBits.from_signs(seg)
-            for seg in split_segments(vector, num_segments)
+            for seg in split_segments(vector, num_segments, copy=False)
         ]
 
     def _reduce_cycles(
@@ -332,10 +377,11 @@ class MarsitSynchronizer:
         )
         self._gather_cycles(cluster, [ranks], [bit_segments], tag="m-ag")
         final = PackedBits.concat(bit_segments[0])
-        for pos in range(1, size):
-            other = PackedBits.concat(bit_segments[pos])
-            if not final.equals(other):
-                raise AssertionError("consensus violated after gather phase")
+        if self.config.verify_consensus:
+            for pos in range(1, size):
+                other = PackedBits.concat(bit_segments[pos])
+                if not final.equals(other):
+                    raise AssertionError("consensus violated after gather phase")
         return final
 
     def _one_bit_torus(
@@ -403,10 +449,11 @@ class MarsitSynchronizer:
             self._gather_cycles(cluster, row_rank_lists, all_segments, tag="m-row-ag")
 
         final = PackedBits.concat(row_segments[0])
-        for rank in range(1, self.num_workers):
-            other = PackedBits.concat(row_segments[rank])
-            if not final.equals(other):
-                raise AssertionError("consensus violated after torus gather")
+        if self.config.verify_consensus:
+            for rank in range(1, self.num_workers):
+                other = PackedBits.concat(row_segments[rank])
+                if not final.equals(other):
+                    raise AssertionError("consensus violated after torus gather")
         return final
 
     def _one_bit_segmented_ring(
@@ -436,9 +483,12 @@ class MarsitSynchronizer:
                 cluster, [ranks], [chunk_segments], tag=f"m-seg{start}-ag"
             )
             pieces.append(PackedBits.concat(chunk_segments[0]))
-            for pos in range(1, size):
-                if not pieces[-1].equals(PackedBits.concat(chunk_segments[pos])):
-                    raise AssertionError("segmented-ring consensus violated")
+            if self.config.verify_consensus:
+                for pos in range(1, size):
+                    if not pieces[-1].equals(
+                        PackedBits.concat(chunk_segments[pos])
+                    ):
+                        raise AssertionError("segmented-ring consensus violated")
         return PackedBits.concat(pieces)
 
     def _one_bit_tree(
@@ -508,10 +558,240 @@ class MarsitSynchronizer:
                     rank, (rank - 1) // arity, tag="m-tree-down"
                 )
             cluster.end_step()
-        for rank in range(1, num):
-            if not bits[rank].equals(bits[0]):
-                raise AssertionError("tree consensus violated")
+        if self.config.verify_consensus:
+            for rank in range(1, num):
+                if not bits[rank].equals(bits[0]):
+                    raise AssertionError("tree consensus violated")
         return bits[0]
+
+    # ------------------------------------------------------------------
+    # one-bit path, lane-stacked lockstep engine
+    # ------------------------------------------------------------------
+    def _reduce_cycles_batched(
+        self,
+        cluster: Cluster,
+        cycles: Sequence[Sequence[int]],
+        grid: PackedLaneGrid,
+        base_weight: int,
+        tag: str,
+    ) -> None:
+        """Batched :meth:`_reduce_cycles`: identical schedule, charges and
+        RNG streams, but each synchronous step's merges run as one
+        :class:`~repro.comm.bits.PackedBitsBatch` expression over all lanes.
+        """
+        if not cycles:
+            return
+        model = cluster.cost_model
+        segment_elems = (
+            int(grid.lengths[0].max()) if grid.lengths.size else 0
+        )
+        # The first outgoing segment's signs must exist before step 0.
+        cluster.charge(Phase.COMPRESSION, model.compress_time(segment_elems))
+
+        def combine(
+            received: PackedBitsBatch,
+            local: PackedBitsBatch,
+            step: int,
+            ranks: Sequence[int],
+        ) -> PackedBitsBatch:
+            transient = transient_vector_batch(
+                local,
+                received_weights=(step + 1) * base_weight,
+                local_weights=base_weight,
+                rngs=[self.rngs[rank] for rank in ranks],
+            )
+            return merge_sign_bits_batch(received, local, transient)
+
+        def charge_hop(step: int, transfer: float) -> None:
+            # Sign extraction + transient draw for the next hop overlap the
+            # transfer (Section 4.1.1); only the excess is critical path.
+            overlapped = model.compress_time(segment_elems) + model.rng_time(
+                segment_elems
+            )
+            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
+            # The merge itself needs the received bits: charged in full.
+            cluster.charge(Phase.COMPRESSION, model.bitop_time(segment_elems))
+
+        lockstep_ring_reduce_scatter(
+            cluster, cycles, grid, combine, tag=tag, on_step_end=charge_hop
+        )
+
+    def _check_grid_consensus(self, grid: PackedLaneGrid, where: str) -> None:
+        if not self.config.verify_consensus or grid.num_lanes <= 1:
+            return
+        if (grid.lengths != grid.lengths[0]).any() or (
+            grid.words != grid.words[0]
+        ).any():
+            raise AssertionError(f"consensus violated after {where}")
+
+    def _one_bit_ring_batched(
+        self, cluster: Cluster, matrix: np.ndarray
+    ) -> PackedBits:
+        """RAR one-bit sync on the lockstep engine (lane = ring position)."""
+        size = self.num_workers
+        ranks = list(range(size))
+        grid = PackedLaneGrid.from_sign_matrix(matrix, size)
+        self._reduce_cycles_batched(
+            cluster, [ranks], grid, base_weight=1, tag="m-rs"
+        )
+        lockstep_ring_all_gather(cluster, [ranks], grid, tag="m-ag")
+        self._check_grid_consensus(grid, "gather phase")
+        return PackedBits.concat(grid.segments_of(0))
+
+    def _one_bit_torus_batched(
+        self, cluster: Cluster, matrix: np.ndarray
+    ) -> PackedBits:
+        """TAR one-bit sync on the lockstep engine.
+
+        Row phase lanes are ranks in row-major order (the row-cycle flatten);
+        column phase restacks each rank's owned segment into a second grid in
+        column-cycle order, mirroring the scalar path's ``split(rows)`` so
+        per-rank RNG streams line up exactly.
+        """
+        rows, cols = torus_rows_cols(cluster)
+        row_rank_lists = row_cycles(rows, cols)
+        col_rank_lists = col_cycles(rows, cols)
+
+        # Row phase: reduce-scatter sign bits within every row, in lockstep.
+        # cols == 1 degenerates to one whole-vector segment per rank.
+        grid = PackedLaneGrid.from_sign_matrix(matrix, cols)
+        if cols > 1:
+            self._reduce_cycles_batched(
+                cluster, row_rank_lists, grid, base_weight=1, tag="m-row-rs"
+            )
+
+        def owned_of(rank: int) -> int:
+            return (rank % cols + 1) % cols if cols > 1 else 0
+
+        # Column phase: one-bit all-reduce of every owned chunk, in lockstep.
+        if rows > 1:
+            col_ranks = [rank for ranks in col_rank_lists for rank in ranks]
+            col_grid = PackedLaneGrid.from_packed_rows(
+                [grid.row(rank, owned_of(rank)).split(rows) for rank in col_ranks]
+            )
+            self._reduce_cycles_batched(
+                cluster,
+                col_rank_lists,
+                col_grid,
+                base_weight=cols,
+                tag="m-col-rs",
+            )
+            lockstep_ring_all_gather(
+                cluster, col_rank_lists, col_grid, tag="m-col-ag"
+            )
+            for lane, rank in enumerate(col_ranks):
+                grid.set_row(
+                    rank,
+                    owned_of(rank),
+                    PackedBits.concat(col_grid.segments_of(lane)),
+                )
+
+        # Row gather: circulate the now fully reduced owned segments.
+        if cols > 1:
+            lockstep_ring_all_gather(
+                cluster, row_rank_lists, grid, tag="m-row-ag"
+            )
+
+        self._check_grid_consensus(grid, "torus gather")
+        return PackedBits.concat(grid.segments_of(0))
+
+    def _one_bit_segmented_ring_batched(
+        self, cluster: Cluster, matrix: np.ndarray
+    ) -> PackedBits:
+        """Segmented-ring variant on the lockstep engine: one grid per chunk."""
+        segment_elems = self.config.segment_elems
+        size = self.num_workers
+        ranks = list(range(size))
+        dimension = matrix.shape[1]
+        pieces: list[PackedBits] = []
+        for start in range(0, dimension, segment_elems):
+            stop = min(start + segment_elems, dimension)
+            grid = PackedLaneGrid.from_sign_matrix(matrix[:, start:stop], size)
+            self._reduce_cycles_batched(
+                cluster, [ranks], grid, base_weight=1, tag=f"m-seg{start}-rs"
+            )
+            lockstep_ring_all_gather(
+                cluster, [ranks], grid, tag=f"m-seg{start}-ag"
+            )
+            self._check_grid_consensus(grid, "segmented-ring gather")
+            pieces.append(PackedBits.concat(grid.segments_of(0)))
+        return PackedBits.concat(pieces)
+
+    def _one_bit_tree_batched(
+        self, cluster: Cluster, matrix: np.ndarray
+    ) -> PackedBits:
+        """Tree variant on the lockstep engine.
+
+        Each level's child-into-parent merges run in *waves* by sibling index
+        ``(rank - 1) % arity``: a wave touches each parent at most once, so
+        batching across parents preserves every parent generator's
+        sequential child-merge order (ascending rank) and the running
+        subtree weights — bit-for-bit the scalar schedule.
+        """
+        meta = cluster.topology.meta
+        arity, root = meta["arity"], meta["root"]
+        num = self.num_workers
+        depth_of = [0] * num
+        for rank in range(1, num):
+            depth_of[rank] = depth_of[(rank - 1) // arity] + 1
+        max_depth = max(depth_of)
+        levels: list[list[int]] = [[] for _ in range(max_depth + 1)]
+        for rank, depth in enumerate(depth_of):
+            levels[depth].append(rank)
+
+        model = cluster.cost_model
+        dimension = matrix.shape[1]
+        words = PackedBitsBatch.from_sign_matrix(matrix).words.copy()
+        lengths = np.full(num, dimension, dtype=np.int64)
+        weight = np.ones(num, dtype=np.int64)
+        cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
+        nbytes = (dimension + 7) // 8
+
+        # Reduce: deepest level first; each level is one synchronous step.
+        for level in reversed(levels[1:]):
+            for sibling in range(arity):
+                wave = [r for r in level if (r - 1) % arity == sibling]
+                if not wave:
+                    continue
+                wave_arr = np.asarray(wave)
+                parent_arr = (wave_arr - 1) // arity
+                received = PackedBitsBatch._trusted(
+                    words[wave_arr], lengths[wave_arr]
+                )
+                local = PackedBitsBatch._trusted(
+                    words[parent_arr], lengths[parent_arr]
+                )
+                transient = transient_vector_batch(
+                    local,
+                    received_weights=weight[wave_arr],
+                    local_weights=weight[parent_arr],
+                    rngs=[self.rngs[int(p)] for p in parent_arr],
+                )
+                merged = merge_sign_bits_batch(received, local, transient)
+                words[parent_arr] = merged.words
+                weight[parent_arr] += weight[wave_arr]
+            transfer = cluster.exchange(
+                [(rank, (rank - 1) // arity, nbytes) for rank in level],
+                tag="m-tree-up",
+            )
+            overlapped = model.rng_time(dimension)
+            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
+            cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
+        if int(weight[root]) != num:
+            raise AssertionError("tree reduce missed workers")
+
+        # Broadcast: shallowest level first.
+        for level in levels[1:]:
+            level_arr = np.asarray(level)
+            words[level_arr] = words[(level_arr - 1) // arity]
+            cluster.exchange(
+                [((rank - 1) // arity, rank, nbytes) for rank in level],
+                tag="m-tree-down",
+            )
+        if self.config.verify_consensus and num > 1:
+            if (words != words[0]).any():
+                raise AssertionError("tree consensus violated")
+        return PackedBits(words=words[0], length=dimension)
 
     # ------------------------------------------------------------------
     # full-precision path

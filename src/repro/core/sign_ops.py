@@ -27,19 +27,30 @@ The packed fast path (:func:`transient_vector_packed`,
 ``uint64`` word on :class:`~repro.comm.bits.PackedBits` operands, consuming
 the identical RNG stream so packed and unpacked hops are bit-for-bit equal
 under a shared seed.
+
+The lane-stacked batch path (:func:`transient_vector_batch`,
+:func:`merge_sign_bits_batch`) widens that once more: a whole synchronous
+step's merges — one lane per (cycle, position) pair — execute as single
+numpy expressions over a :class:`~repro.comm.bits.PackedBitsBatch`, again
+consuming per-rank RNG streams identical to the scalar path, so all three
+tiers are bit-for-bit interchangeable.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.comm.bits import PackedBits
+from repro.comm.bits import PackedBits, PackedBitsBatch
 
 __all__ = [
     "expected_merge_probability",
     "merge_sign_bits",
+    "merge_sign_bits_batch",
     "merge_sign_bits_packed",
     "transient_vector",
+    "transient_vector_batch",
     "transient_vector_packed",
 ]
 
@@ -138,6 +149,67 @@ def merge_sign_bits_packed(
     """``v ⊙ v* = (v AND v*) OR ((v XOR v*) AND r)`` on ``uint64`` words."""
     if not len(received_bits) == len(local_bits) == len(transient):
         raise ValueError("all bit vectors must share one length")
+    return (received_bits & local_bits) | (
+        (received_bits ^ local_bits) & transient
+    )
+
+
+def transient_vector_batch(
+    local_bits: PackedBitsBatch,
+    received_weights: int | np.ndarray,
+    local_weights: int | np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> PackedBitsBatch:
+    """Lane-stacked :func:`transient_vector_packed`: one draw call per lane,
+    one vectorized threshold-and-pack for the whole synchronous step.
+
+    ``rngs[i]`` is lane ``i``'s generator (the receiving rank's stream); each
+    lane draws exactly ``lengths[i]`` uniforms into one shared matrix, so the
+    per-rank streams are *identical* to the scalar path's
+    ``rng.random(length)`` calls and batched and scalar engines stay
+    bit-for-bit interchangeable under a shared seed.  Weights may be scalars
+    (every lane at the same hop, the ring schedules) or per-lane arrays (the
+    tree reduce, where subtree sizes differ).
+    """
+    lanes = local_bits.num_lanes
+    if len(rngs) != lanes:
+        raise ValueError("one generator per lane required")
+    received = np.broadcast_to(
+        np.asarray(received_weights, dtype=np.int64), (lanes,)
+    )
+    local_w = np.broadcast_to(np.asarray(local_weights, dtype=np.int64), (lanes,))
+    if lanes and (received.min() < 1 or local_w.min() < 1):
+        raise ValueError("weights must be >= 1")
+    lengths = local_bits.lengths
+    max_len = int(lengths.max()) if lengths.size else 0
+    uniforms = np.empty((lanes, max_len))
+    for lane in range(lanes):
+        n = int(lengths[lane])
+        if n:
+            rngs[lane].random(out=uniforms[lane, :n])
+    keep_local = (local_w / (received + local_w))[:, None]
+    # from_bit_matrix masks columns past each lane's length, so the
+    # uninitialized tail of the shared uniforms buffer never leaks through.
+    width = local_bits.width
+    below_local = PackedBitsBatch.from_bit_matrix(
+        uniforms < keep_local, lengths, width=width
+    )
+    below_other = PackedBitsBatch.from_bit_matrix(
+        uniforms < 1.0 - keep_local, lengths, width=width
+    )
+    return (local_bits & below_local) | (local_bits.invert() & below_other)
+
+
+def merge_sign_bits_batch(
+    received_bits: PackedBitsBatch,
+    local_bits: PackedBitsBatch,
+    transient: PackedBitsBatch,
+) -> PackedBitsBatch:
+    """``v ⊙ v* = (v AND v*) OR ((v XOR v*) AND r)`` over a whole lane stack.
+
+    One batched word-matrix expression merges every (cycle, position) lane of
+    a synchronous step at once — the lockstep engine's per-step workhorse.
+    """
     return (received_bits & local_bits) | (
         (received_bits ^ local_bits) & transient
     )

@@ -635,6 +635,8 @@ class MarsitStrategy(SyncStrategy):
         global_lr_schedule=None,
         local_lr_decay: float = 1.0,
         segment_elems: int | None = None,
+        engine: str = "batched",
+        verify_consensus: bool = True,
     ) -> None:
         config = MarsitConfig(
             global_lr=global_lr,
@@ -642,6 +644,8 @@ class MarsitStrategy(SyncStrategy):
             seed=seed,
             global_lr_schedule=global_lr_schedule,
             segment_elems=segment_elems,
+            engine=engine,
+            verify_consensus=verify_consensus,
         )
         if base_optimizer == "momentum":
             self._optimizer = MarsitMomentum(

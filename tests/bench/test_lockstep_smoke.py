@@ -1,0 +1,19 @@
+"""Smoke-run the lockstep benchmark's ``--check`` mode in tier 1.
+
+Exercises the full scalar-vs-batched verification path (output, byte, and
+message identity asserts inside ``run_rounds``) on a small input so an
+engine divergence fails the ordinary test run, not just the long benchmark.
+Timings at this size are noise, so no speedup floors are asserted here.
+"""
+
+from benchmarks.bench_lockstep import CHECK_DIMENSION, CHECK_WORKERS, run_mode
+
+
+def test_check_mode_runs_and_reports(capsys):
+    results = run_mode("check")
+    assert set(results) == {str(m) for m in CHECK_WORKERS}
+    for entry in results.values():
+        assert entry["old_s"] > 0 and entry["new_s"] > 0
+        assert entry["speedup"] > 0
+    out = capsys.readouterr().out
+    assert f"D={CHECK_DIMENSION}" in out

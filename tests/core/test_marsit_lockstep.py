@@ -1,0 +1,138 @@
+"""Batched lockstep engine vs the scalar per-message reference.
+
+The lane-stacked engine is a pure re-scheduling of the same arithmetic:
+under a shared seed it must produce bit-for-bit identical global updates AND
+identical accounting — total bytes, total messages, per-link counters, and
+the simulated timeline — on every supported topology, including ragged
+sizes (``D % M != 0``), empty segments (``D < M``), and ``M = 1``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import Cluster
+from repro.comm.topology import ring_topology, torus_topology, tree_topology
+from repro.core.marsit import MarsitConfig, MarsitSynchronizer
+from repro.train.strategies import MarsitStrategy
+
+ROUNDS = 3
+
+
+def _run(topology, num_workers, dimension, engine, rounds=ROUNDS, **config):
+    cluster = Cluster(topology)
+    sync = MarsitSynchronizer(
+        MarsitConfig(global_lr=0.25, seed=42, engine=engine, **config),
+        num_workers,
+        dimension,
+    )
+    rng = np.random.default_rng(9)
+    outputs = []
+    for round_idx in range(1, rounds + 1):
+        updates = [rng.standard_normal(dimension) for _ in range(num_workers)]
+        report = sync.synchronize(cluster, updates, round_idx)
+        outputs.append(np.stack(report.global_updates))
+    return cluster, sync, outputs
+
+
+def assert_engines_identical(topology_factory, num_workers, dimension, **config):
+    scalar_cluster, scalar_sync, scalar_out = _run(
+        topology_factory(), num_workers, dimension, "scalar", **config
+    )
+    batched_cluster, batched_sync, batched_out = _run(
+        topology_factory(), num_workers, dimension, "batched", **config
+    )
+    for reference, candidate in zip(scalar_out, batched_out):
+        assert np.array_equal(reference, candidate)
+    assert np.array_equal(
+        scalar_sync.state.compensation, batched_sync.state.compensation
+    )
+    assert batched_cluster.total_bytes == scalar_cluster.total_bytes
+    assert batched_cluster.total_messages == scalar_cluster.total_messages
+    for key, link in scalar_cluster.links.items():
+        assert batched_cluster.links[key].bytes_sent == link.bytes_sent
+        assert batched_cluster.links[key].messages_sent == link.messages_sent
+    assert batched_cluster.timeline.seconds == scalar_cluster.timeline.seconds
+
+
+class TestEngineIdentity:
+    @pytest.mark.parametrize("num_workers,dimension", [(8, 512), (5, 103), (4, 3)])
+    def test_ring(self, num_workers, dimension):
+        assert_engines_identical(
+            lambda: ring_topology(num_workers), num_workers, dimension
+        )
+
+    @pytest.mark.parametrize(
+        "rows,cols,dimension", [(4, 4, 256), (2, 3, 101), (1, 4, 64), (3, 1, 50)]
+    )
+    def test_torus(self, rows, cols, dimension):
+        assert_engines_identical(
+            lambda: torus_topology(rows, cols), rows * cols, dimension
+        )
+
+    @pytest.mark.parametrize(
+        "num_workers,arity,dimension", [(7, 2, 200), (13, 3, 257), (4, 2, 65)]
+    )
+    def test_tree(self, num_workers, arity, dimension):
+        assert_engines_identical(
+            lambda: tree_topology(num_workers, arity=arity),
+            num_workers,
+            dimension,
+        )
+
+    @pytest.mark.parametrize("segment_elems", [64, 100, 1000])
+    def test_segmented_ring(self, segment_elems):
+        assert_engines_identical(
+            lambda: ring_topology(6),
+            6,
+            500,
+            segment_elems=segment_elems,
+        )
+
+    def test_full_precision_rounds_interleave(self):
+        assert_engines_identical(
+            lambda: ring_topology(4), 4, 96, full_precision_every=2
+        )
+
+    def test_single_worker_short_circuits(self):
+        _, _, scalar_out = _run(ring_topology(1), 1, 10, "scalar")
+        _, _, batched_out = _run(ring_topology(1), 1, 10, "batched")
+        for reference, candidate in zip(scalar_out, batched_out):
+            assert np.array_equal(reference, candidate)
+
+
+class TestConsensusFlag:
+    def test_default_engine_is_batched_with_verification(self):
+        config = MarsitConfig(global_lr=1.0)
+        assert config.engine == "batched"
+        assert config.verify_consensus is True
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            MarsitConfig(global_lr=1.0, engine="turbo")
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_verify_consensus_off_keeps_results(self, engine):
+        _, _, checked = _run(
+            ring_topology(4), 4, 64, engine, verify_consensus=True
+        )
+        _, _, unchecked = _run(
+            ring_topology(4), 4, 64, engine, verify_consensus=False
+        )
+        for reference, candidate in zip(checked, unchecked):
+            assert np.array_equal(reference, candidate)
+
+
+class TestStrategyPassthrough:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_marsit_strategy_forwards_engine_flags(self, engine):
+        strategy = MarsitStrategy(
+            local_lr=0.1,
+            global_lr=0.5,
+            num_workers=4,
+            dimension=16,
+            engine=engine,
+            verify_consensus=False,
+        )
+        config = strategy._optimizer.synchronizer.config
+        assert config.engine == engine
+        assert config.verify_consensus is False
