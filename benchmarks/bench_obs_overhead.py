@@ -1,0 +1,257 @@
+"""Observability overhead benchmark: disabled instrumentation must be free.
+
+The telemetry subsystem hangs off the cluster's accounting calls: every
+``exchange``/``end_step`` checks a cached ``_obs_on`` boolean and every
+``charge`` does the same before (maybe) forwarding to the tracer.  This bench
+measures what those checks cost the lane-stacked lockstep engine when
+instrumentation is *off* — the default for every benchmark and training run.
+
+To keep the comparison machine-independent the baseline is rebuilt in
+process: ``BareCluster`` overrides the accounting methods with their
+pre-observability bodies (no ``_obs_on`` checks, no per-step message
+counter), so instrumented-off and bare rounds run back to back on the same
+interpreter and the delta is the instrumentation alone, not run-to-run
+variance against a recorded number.  Tracing-enabled rounds are also timed,
+informationally (spans and metrics are expected to cost real time).
+
+Results go to ``benchmarks/results/obs_overhead.txt`` and machine-readable
+``BENCH_obs_overhead.json`` at the repo root (``full`` / ``check`` keys).
+
+Run the full benchmark (asserts < 3% overhead at every M)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+or the seconds-long smoke mode the test suite wires in::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, save_report
+from repro.comm.cluster import Cluster
+from repro.comm.timing import Phase
+from repro.comm.topology import ring_topology
+from repro.core.marsit import MarsitConfig, MarsitSynchronizer
+from repro.obs import Observability
+
+FULL_DIMENSION = 1_000_000
+FULL_WORKERS = (8, 32)
+FULL_ROUNDS = 7
+CHECK_DIMENSION = 20_000
+CHECK_WORKERS = (4,)
+CHECK_ROUNDS = 2
+#: ISSUE acceptance ceiling, asserted in full mode only.
+MAX_OVERHEAD_PCT = 3.0
+_SEED = 7
+
+_JSON_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json"
+)
+
+
+class BareCluster(Cluster):
+    """The cluster's accounting hot paths as they were before telemetry.
+
+    ``exchange`` and ``end_step`` charge the makespan without the
+    ``_obs_on`` check or the step message counter; ``charge`` is a plain
+    timeline add.  Everything else is inherited.
+    """
+
+    def exchange(self, transfers, tag: str = "") -> float:
+        if self._in_step:
+            raise RuntimeError("cannot exchange inside an open step")
+        from repro.comm.cluster import payload_nbytes
+
+        step_bytes: dict[tuple[int, int], int] = {}
+        links = self.links
+        total = 0
+        count = 0
+        for src, dst, payload in transfers:
+            key = (src, dst)
+            link = links.get(key)
+            if link is None:
+                raise ValueError(
+                    f"no link {src} -> {dst} in {self.topology.name} topology"
+                )
+            nbytes = (
+                payload if type(payload) is int else payload_nbytes(payload)
+            )
+            if nbytes < 0:
+                raise ValueError("nbytes must be non-negative")
+            link.bytes_sent += nbytes
+            link.messages_sent += 1
+            total += nbytes
+            count += 1
+            step_bytes[key] = step_bytes.get(key, 0) + nbytes
+        self.total_bytes += total
+        self.total_messages += count
+        if not step_bytes:
+            return 0.0
+        elapsed = max(
+            self._link_transfer_time(link, nbytes)
+            for link, nbytes in step_bytes.items()
+        )
+        self.timeline.add(Phase.COMMUNICATION, elapsed)
+        return elapsed
+
+    def end_step(self, tag: str = "") -> float:
+        if not self._in_step:
+            raise RuntimeError("no step open")
+        self._in_step = False
+        if not self._step_bytes:
+            return 0.0
+        elapsed = max(
+            self._link_transfer_time(link, nbytes)
+            for link, nbytes in self._step_bytes.items()
+        )
+        self.timeline.add(Phase.COMMUNICATION, elapsed)
+        return elapsed
+
+    def charge(self, phase: Phase, seconds: float) -> None:
+        self.timeline.add(phase, seconds)
+
+
+def _time_rounds(
+    cluster: Cluster, num_workers: int, dimension: int, updates: np.ndarray,
+    rounds: int,
+) -> float:
+    """Best per-round seconds of the batched one-bit engine on ``cluster``."""
+    sync = MarsitSynchronizer(
+        MarsitConfig(
+            global_lr=0.01, seed=_SEED, engine="batched",
+            verify_consensus=False,
+        ),
+        num_workers,
+        dimension,
+    )
+    best = float("inf")
+    for round_idx in range(1, rounds + 1):
+        start = time.perf_counter()
+        sync.synchronize(cluster, updates, round_idx)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_rounds(
+    dimension: int, workers: tuple[int, ...], rounds: int
+) -> dict:
+    """Bare vs instrumented-off vs tracing-on per-round time per M."""
+    results: dict = {}
+    rng = np.random.default_rng(5)
+    for num_workers in workers:
+        updates = rng.standard_normal((num_workers, dimension))
+        topology = ring_topology(num_workers)
+        bare_s = _time_rounds(
+            BareCluster(topology), num_workers, dimension, updates, rounds
+        )
+        off_s = _time_rounds(
+            Cluster(topology), num_workers, dimension, updates, rounds
+        )
+        traced_s = _time_rounds(
+            Cluster(topology, obs=Observability.tracing()),
+            num_workers, dimension, updates, rounds,
+        )
+        results[str(num_workers)] = {
+            "bare_s": bare_s,
+            "off_s": off_s,
+            "traced_s": traced_s,
+            "overhead_pct": 100.0 * (off_s - bare_s) / max(bare_s, 1e-12),
+            "traced_pct": 100.0 * (traced_s - bare_s) / max(bare_s, 1e-12),
+        }
+    return results
+
+
+def _write_json(mode: str, dimension: int, workers: dict) -> None:
+    payload: dict = {}
+    if _JSON_PATH.exists():
+        try:
+            payload = json.loads(_JSON_PATH.read_text())
+        except (OSError, ValueError):
+            payload = {}
+    payload[mode] = {"dimension": dimension, "workers": workers}
+    try:
+        _JSON_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    except OSError:
+        pass  # read-only checkout: the printed table is still the output
+
+
+def _report(mode: str, dimension: int, workers: dict) -> str:
+    rows = [
+        [
+            f"M={num_workers}",
+            f"{entry['bare_s'] * 1e3:.2f}",
+            f"{entry['off_s'] * 1e3:.2f}",
+            f"{entry['overhead_pct']:+.2f}%",
+            f"{entry['traced_s'] * 1e3:.2f}",
+            f"{entry['traced_pct']:+.2f}%",
+        ]
+        for num_workers, entry in workers.items()
+    ]
+    table = format_table(
+        [
+            "workers", "bare ms/round", "obs-off ms/round", "overhead",
+            "tracing ms/round", "tracing cost",
+        ],
+        rows,
+    )
+    return (
+        f"Observability overhead, batched one-bit ring round "
+        f"({mode}, D={dimension})\n" + table
+    )
+
+
+def run_mode(mode: str) -> dict:
+    """Run ``'full'`` or ``'check'`` mode; persist JSON + text results."""
+    if mode == "full":
+        dimension, workers, rounds = FULL_DIMENSION, FULL_WORKERS, FULL_ROUNDS
+    else:
+        dimension, workers, rounds = (
+            CHECK_DIMENSION, CHECK_WORKERS, CHECK_ROUNDS,
+        )
+    results = run_rounds(dimension, workers, rounds)
+    _write_json(mode, dimension, results)
+    if mode == "full":
+        save_report("obs_overhead", _report(mode, dimension, results))
+    else:
+        print(_report(mode, dimension, results))
+    return results
+
+
+@pytest.mark.slow
+def test_obs_overhead(benchmark):
+    from benchmarks.conftest import run_once
+
+    results = run_once(benchmark, lambda: run_mode("full"))
+    for entry in results.values():
+        assert entry["overhead_pct"] < MAX_OVERHEAD_PCT
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="seconds-long smoke mode (small input, no overhead asserts)",
+    )
+    args = parser.parse_args()
+    if args.check:
+        run_mode("check")
+        return
+    results = run_mode("full")
+    for num_workers, entry in results.items():
+        assert entry["overhead_pct"] < MAX_OVERHEAD_PCT, (num_workers, entry)
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,8 @@ def quick_train(
     rounds: int = 100,
     topology: str = "ring",
     seed: int = 0,
+    observability=None,
+    callbacks=None,
 ) -> TrainResult:
     """One-call demo: train an MLP on MNIST-like data with a named scheme.
 
@@ -65,6 +67,9 @@ def quick_train(
         strategy: one of ``psgd``, ``signsgd``, ``ef-signsgd``, ``ssdm``,
             ``cascading``, ``marsit``, ``marsit-k`` (K = 25).
         topology: ``ring`` or ``torus`` (torus requires a square M).
+        observability: optional :class:`repro.obs.Observability` attached to
+            the cluster (span tracer and/or metrics registry).
+        callbacks: optional sequence of :class:`repro.obs.TrainerCallback`.
 
     Returns:
         The :class:`repro.train.TrainResult` with accuracy/time/bytes
@@ -124,6 +129,12 @@ def quick_train(
         seed=seed,
     )
     trainer = DistributedTrainer(
-        factory, train_set, test_set, builders[strategy](), config
+        factory,
+        train_set,
+        test_set,
+        builders[strategy](),
+        config,
+        callbacks=callbacks,
+        observability=observability,
     )
     return trainer.run()

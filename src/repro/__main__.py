@@ -5,11 +5,22 @@ installation or eyeballing a scheme without writing code::
 
     python -m repro --strategy marsit --workers 8 --rounds 120
     python -m repro --strategy psgd --topology torus --workers 4
+
+Observability flags hook the run up to the telemetry subsystem::
+
+    python -m repro --strategy marsit --trace trace.json --save run.json
+    python -m repro report run.json
+
+``--trace`` writes a Perfetto-loadable Chrome trace of the simulated-time
+span tree; ``--metrics-jsonl`` writes every metric as JSON Lines; ``--save``
+writes the full :class:`~repro.train.TrainResult` document that the
+``report`` subcommand pretty-prints later.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import quick_train
@@ -35,17 +46,68 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rounds", type=int, default=100)
     parser.add_argument("--topology", default="ring", choices=["ring", "torus"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a simulated-time span trace and write Chrome trace JSON",
+    )
+    parser.add_argument(
+        "--metrics-jsonl",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry snapshot as JSON Lines",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="write the TrainResult JSON document (readable by 'report')",
+    )
     return parser
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Pretty-print a saved TrainResult JSON document.",
+    )
+    parser.add_argument("run_json", help="path written by --save / to_json()")
+    return parser
+
+
+def report_main(argv: list[str]) -> int:
+    from repro.obs import render_result_report
+
+    args = build_report_parser().parse_args(argv)
+    try:
+        with open(args.run_json) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.run_json}: {exc}", file=sys.stderr)
+        return 2
+    print(render_result_report(payload))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
+    observability = None
+    if args.trace or args.metrics_jsonl:
+        from repro.obs import Observability
+
+        observability = Observability.tracing()
     result = quick_train(
         strategy=args.strategy,
         num_workers=args.workers,
         rounds=args.rounds,
         topology=args.topology,
         seed=args.seed,
+        observability=observability,
     )
     print(f"strategy      : {result.strategy_name}")
     print(f"rounds run    : {result.rounds_run}")
@@ -54,6 +116,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bytes on wire : {result.total_comm_bytes:,}")
     print(f"simulated time: {result.total_sim_time_s * 1e3:.2f} ms")
     print(f"bits/element  : {result.avg_bits_per_element:.2f}")
+    if args.save:
+        result.to_json(args.save)
+        print(f"saved result  : {args.save}")
+    if observability is not None and args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, observability.tracer, observability.metrics)
+        print(f"saved trace   : {args.trace}")
+    if observability is not None and args.metrics_jsonl:
+        from repro.obs import write_jsonl
+
+        write_jsonl(args.metrics_jsonl, metrics=observability.metrics)
+        print(f"saved metrics : {args.metrics_jsonl}")
     if result.diverged:
         print("NOTE: run diverged")
         return 1

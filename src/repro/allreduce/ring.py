@@ -190,7 +190,7 @@ def parallel_ring_reduce_scatter(
                 else:
                     merged = combine(payload, local, step)
                 segments[cycle_idx][pos][recv_idx] = merged
-        elapsed = cluster.end_step()
+        elapsed = cluster.end_step(tag=f"{tag}:{step}")
         if on_step_end is not None:
             on_step_end(step, elapsed)
     return [[(pos + 1) % size for pos in range(size)] for _ in cycles]
@@ -228,7 +228,7 @@ def parallel_ring_all_gather(
                     cycle[pos], cycle[(pos - 1) % size], tag=f"{tag}:{step}"
                 )
                 segments[cycle_idx][pos][recv_idx] = payload
-        cluster.end_step()
+        cluster.end_step(tag=f"{tag}:{step}")
 
 
 @dataclass

@@ -14,6 +14,7 @@ implementation would call ``dist.send`` / ``dist.recv``; the cluster
 from __future__ import annotations
 
 from collections import defaultdict, deque
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -22,6 +23,7 @@ import numpy as np
 from repro.comm.bits import BitVector, PackedBits
 from repro.comm.timing import CostModel, Phase, TimeLine
 from repro.comm.topology import Topology
+from repro.obs.tracer import NULL_OBS, Observability
 
 __all__ = ["Cluster", "Link", "Message", "SizedPayload", "Worker", "payload_nbytes"]
 
@@ -146,6 +148,9 @@ class Cluster:
             ``None`` a default :class:`CostModel` is used.
         strict: when True (default), :meth:`recv` with no matching message
             raises immediately instead of deadlocking silently.
+        obs: an :class:`~repro.obs.tracer.Observability` bundle.  Defaults to
+            the shared disabled bundle; attach a tracing one to get per-step
+            spans and wire metrics out of the same accounting calls.
     """
 
     def __init__(
@@ -154,6 +159,7 @@ class Cluster:
         cost_model: CostModel | None = None,
         strict: bool = True,
         link_speed_factors: dict[tuple[int, int], float] | None = None,
+        obs: Observability | None = None,
     ) -> None:
         """See class docstring.
 
@@ -180,7 +186,21 @@ class Cluster:
         self.total_bytes = 0
         self.total_messages = 0
         self._step_bytes: dict[tuple[int, int], int] = {}
+        self._step_messages = 0
         self._in_step = False
+        self.obs = NULL_OBS
+        self._obs_on = False
+        if obs is not None:
+            self.attach_observability(obs)
+
+    def attach_observability(self, obs: Observability) -> None:
+        """Attach (or swap) the observability bundle.
+
+        The enabled flag is cached so the per-charge hot path pays a single
+        attribute check when instrumentation is off.
+        """
+        self.obs = obs
+        self._obs_on = obs.enabled
 
     @property
     def num_workers(self) -> int:
@@ -206,6 +226,7 @@ class Cluster:
         if self._in_step:
             key = (src, dst)
             self._step_bytes[key] = self._step_bytes.get(key, 0) + nbytes
+            self._step_messages += 1
         return message
 
     def recv(self, dst: int, src: int, tag: str = "") -> Any:
@@ -222,7 +243,7 @@ class Cluster:
 
     def exchange(
         self,
-        transfers: "Sequence[tuple[int, int, Any]]",
+        transfers: Sequence[tuple[int, int, Any]],
         tag: str = "",
     ) -> float:
         """Run one whole synchronous step's transfers in a single call.
@@ -272,6 +293,8 @@ class Cluster:
             for link, nbytes in step_bytes.items()
         )
         self.timeline.add(Phase.COMMUNICATION, elapsed)
+        if self._obs_on:
+            self._record_step_obs(tag, step_bytes, count, elapsed)
         return elapsed
 
     # ------------------------------------------------------------------
@@ -283,8 +306,9 @@ class Cluster:
             raise RuntimeError("step already open")
         self._in_step = True
         self._step_bytes = {}
+        self._step_messages = 0
 
-    def end_step(self) -> float:
+    def end_step(self, tag: str = "") -> float:
         """Close the step and charge its makespan to the timeline.
 
         The step time is the slowest link's ``latency + bytes / bandwidth``;
@@ -301,7 +325,49 @@ class Cluster:
             for link, nbytes in self._step_bytes.items()
         )
         self.timeline.add(Phase.COMMUNICATION, elapsed)
+        if self._obs_on:
+            self._record_step_obs(
+                tag, self._step_bytes, self._step_messages, elapsed
+            )
         return elapsed
+
+    def _record_step_obs(
+        self,
+        tag: str,
+        step_bytes: dict[tuple[int, int], int],
+        messages: int,
+        elapsed: float,
+    ) -> None:
+        """Mirror one synchronous step into the tracer and metrics.
+
+        Both the per-message (``begin_step``/``end_step``) and the bulk
+        (:meth:`exchange`) paths funnel through here with identical
+        ``step_bytes`` dicts, so the scalar and batched engines emit
+        identical wire metrics by construction.
+        """
+        obs = self.obs
+        total = sum(step_bytes.values())
+        obs.tracer.record_step(
+            "hop",
+            Phase.COMMUNICATION,
+            elapsed,
+            tag=tag,
+            bytes=total,
+            messages=messages,
+            links=len(step_bytes),
+        )
+        metrics = obs.metrics
+        if metrics is None:
+            return
+        for (src, dst), nbytes in step_bytes.items():
+            metrics.counter("wire.link_bytes", link=f"{src}->{dst}").inc(nbytes)
+        metrics.counter("wire.step_bytes").inc(total)
+        metrics.counter("wire.step_messages").inc(messages)
+        metrics.counter("wire.steps").inc()
+        metrics.histogram("wire.step_makespan_s").observe(elapsed)
+        metrics.gauge("cluster.mailbox_depth").set(
+            sum(worker.pending() for worker in self.workers)
+        )
 
     def _link_transfer_time(self, link: tuple[int, int], nbytes: int) -> float:
         factor = self.link_speed_factors.get(link, 1.0)
@@ -311,6 +377,8 @@ class Cluster:
     def charge(self, phase: Phase, seconds: float) -> None:
         """Charge non-communication time (computation / compression)."""
         self.timeline.add(phase, seconds)
+        if self._obs_on:
+            self.obs.tracer.advance(phase, seconds)
 
     # ------------------------------------------------------------------
     # inspection
@@ -322,10 +390,19 @@ class Cluster:
             raise AssertionError(f"undrained mailboxes: {leftover}")
 
     def reset_accounting(self) -> None:
-        """Zero traffic counters and the timeline, keeping mailboxes intact."""
+        """Zero traffic counters and the timeline, keeping mailboxes intact.
+
+        Refuses to run inside an open step: resetting mid-step would charge
+        the step's makespan from a half-cleared byte map, silently corrupting
+        the timeline.  Close the step (or never open one) first.
+        """
+        if self._in_step:
+            raise RuntimeError("cannot reset accounting inside an open step")
         for link in self.links.values():
             link.bytes_sent = 0
             link.messages_sent = 0
         self.total_bytes = 0
         self.total_messages = 0
+        self._step_bytes = {}
+        self._step_messages = 0
         self.timeline = TimeLine()

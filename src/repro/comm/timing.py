@@ -106,6 +106,17 @@ class TimeLine:
         """Phase name -> seconds, for reporting."""
         return {phase.value: self.seconds[phase] for phase in Phase}
 
+    def delta_since(self, earlier: "TimeLine") -> dict[str, float]:
+        """Phase name -> seconds accrued since ``earlier`` was snapshot.
+
+        The per-round cost probe: snapshot the cluster timeline with
+        :meth:`copy` at round start, then ask what this round added.
+        """
+        return {
+            phase.value: self.seconds[phase] - earlier.seconds[phase]
+            for phase in Phase
+        }
+
     def merged_with(self, other: "TimeLine") -> "TimeLine":
         merged = TimeLine()
         for phase in Phase:

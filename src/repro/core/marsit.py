@@ -216,33 +216,58 @@ class MarsitSynchronizer:
         # update at once (line 1 of Algorithm 1).
         compensated = np.stack(stacked) + self.state.compensation
 
-        if self.config.is_full_precision_round(round_idx):
-            global_updates = self._full_precision_sync(cluster, compensated)
-            self.state.compensation = np.zeros(
-                (self.num_workers, self.dimension)
+        obs = cluster.obs
+        full_precision = self.config.is_full_precision_round(round_idx)
+        with obs.tracer.span(
+            "round",
+            cat="marsit",
+            round=round_idx,
+            engine=self.config.engine,
+            full_precision=full_precision,
+        ):
+            if full_precision:
+                global_updates = self._full_precision_sync(cluster, compensated)
+                self.state.compensation = np.zeros(
+                    (self.num_workers, self.dimension)
+                )
+                report = SyncReport(
+                    round_idx=round_idx,
+                    full_precision=True,
+                    bits_per_element=32.0,
+                    global_updates=global_updates,
+                )
+            else:
+                consensus_signs = self._one_bit_sync(cluster, compensated)
+                eta_s = self.config.effective_global_lr(round_idx)
+                global_update = eta_s * consensus_signs
+                if self.config.use_compensation:
+                    self.state.compensation = compensated - global_update
+                else:
+                    self.state.compensation = np.zeros(
+                        (self.num_workers, self.dimension)
+                    )
+                report = SyncReport(
+                    round_idx=round_idx,
+                    full_precision=False,
+                    bits_per_element=1.0,
+                    global_updates=[
+                        global_update.copy() for _ in range(self.num_workers)
+                    ],
+                )
+        metrics = obs.metrics
+        if metrics is not None:
+            metrics.gauge("marsit.bits_per_element").set(report.bits_per_element)
+            metrics.gauge("marsit.comp_norm").set(
+                float(np.mean(np.linalg.norm(self.state.compensation, axis=1)))
             )
-            return SyncReport(
-                round_idx=round_idx,
-                full_precision=True,
-                bits_per_element=32.0,
-                global_updates=global_updates,
-            )
-
-        consensus_signs = self._one_bit_sync(cluster, compensated)
-        eta_s = self.config.effective_global_lr(round_idx)
-        global_update = eta_s * consensus_signs
-        if self.config.use_compensation:
-            self.state.compensation = compensated - global_update
-        else:
-            self.state.compensation = np.zeros(
-                (self.num_workers, self.dimension)
-            )
-        return SyncReport(
-            round_idx=round_idx,
-            full_precision=False,
-            bits_per_element=1.0,
-            global_updates=[global_update.copy() for _ in range(self.num_workers)],
-        )
+            if not full_precision:
+                # Live Figure-1b statistic: how often the one-bit consensus
+                # matches the sign of the exact full-precision mean update.
+                mean_sign = np.where(compensated.mean(axis=0) >= 0, 1.0, -1.0)
+                metrics.gauge("marsit.sign_agreement").set(
+                    float(np.mean(consensus_signs == mean_sign))
+                )
+        return report
 
     # ------------------------------------------------------------------
     # one-bit path
@@ -317,11 +342,10 @@ class MarsitSynchronizer:
         if not cycles:
             return
         model = cluster.cost_model
+        metrics = cluster.obs.metrics
         segment_elems = max(
             (len(seg) for seg in bit_segments[0][0]), default=0
         )
-        # The first outgoing segment's signs must exist before step 0.
-        cluster.charge(Phase.COMPRESSION, model.compress_time(segment_elems))
 
         def combine(
             received: PackedBits, local: PackedBits, step: int, rank: int
@@ -332,6 +356,13 @@ class MarsitSynchronizer:
                 local_weight=base_weight,
                 rng=self.rngs[rank],
             )
+            if metrics is not None:
+                # Disagreeing coordinates are exactly the ones the transient
+                # vector decides (the ⊙ merge keeps agreements verbatim).
+                metrics.counter("marsit.transient_draws").inc(
+                    (received ^ local).popcount()
+                )
+                metrics.counter("marsit.merged_bits").inc(len(local))
             return merge_sign_bits_packed(received, local, transient)
 
         def charge_hop(step: int, transfer: float) -> None:
@@ -344,14 +375,19 @@ class MarsitSynchronizer:
             # The merge itself needs the received bits: charged in full.
             cluster.charge(Phase.COMPRESSION, model.bitop_time(segment_elems))
 
-        parallel_ring_reduce_scatter(
-            cluster,
-            cycles,
-            bit_segments,
-            combine,
-            tag=tag,
-            on_step_end=charge_hop,
-        )
+        with cluster.obs.tracer.span("reduce-scatter", cat="phase", tag=tag):
+            # The first outgoing segment's signs must exist before step 0.
+            cluster.charge(
+                Phase.COMPRESSION, model.compress_time(segment_elems)
+            )
+            parallel_ring_reduce_scatter(
+                cluster,
+                cycles,
+                bit_segments,
+                combine,
+                tag=tag,
+                on_step_end=charge_hop,
+            )
 
     def _gather_cycles(
         self,
@@ -361,7 +397,8 @@ class MarsitSynchronizer:
         tag: str,
     ) -> None:
         """All-gather of owned packed segments over cycles in lockstep."""
-        parallel_ring_all_gather(cluster, cycles, bit_segments, tag=tag)
+        with cluster.obs.tracer.span("all-gather", cat="phase", tag=tag):
+            parallel_ring_all_gather(cluster, cycles, bit_segments, tag=tag)
 
     def _one_bit_ring(
         self, cluster: Cluster, vectors: list[np.ndarray]
@@ -514,50 +551,65 @@ class MarsitSynchronizer:
             levels[depth].append(rank)
 
         model = cluster.cost_model
+        metrics = cluster.obs.metrics
+        tracer = cluster.obs.tracer
         bits = [PackedBits.from_signs(vec) for vec in vectors]
         weight = [1] * num
         dimension = vectors[0].size
-        cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
 
         # Reduce: deepest level first; each level is one synchronous step.
-        for level in reversed(levels[1:]):
-            cluster.begin_step()
-            for rank in level:
-                cluster.send(
-                    rank, (rank - 1) // arity, bits[rank], tag="m-tree-up"
+        with tracer.span("reduce-scatter", cat="phase", tag="m-tree-up"):
+            cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
+            for level in reversed(levels[1:]):
+                cluster.begin_step()
+                for rank in level:
+                    cluster.send(
+                        rank, (rank - 1) // arity, bits[rank], tag="m-tree-up"
+                    )
+                for rank in level:
+                    parent = (rank - 1) // arity
+                    received: PackedBits = cluster.recv(
+                        parent, rank, tag="m-tree-up"
+                    )
+                    transient = transient_vector_packed(
+                        bits[parent],
+                        received_weight=weight[rank],
+                        local_weight=weight[parent],
+                        rng=self.rngs[parent],
+                    )
+                    if metrics is not None:
+                        metrics.counter("marsit.transient_draws").inc(
+                            (received ^ bits[parent]).popcount()
+                        )
+                        metrics.counter("marsit.merged_bits").inc(
+                            len(bits[parent])
+                        )
+                    # Merge child (received) into parent (local).
+                    bits[parent] = merge_sign_bits_packed(
+                        received, bits[parent], transient
+                    )
+                    weight[parent] += weight[rank]
+                transfer = cluster.end_step(tag="m-tree-up")
+                overlapped = model.rng_time(dimension)
+                cluster.charge(
+                    Phase.COMPRESSION, max(0.0, overlapped - transfer)
                 )
-            for rank in level:
-                parent = (rank - 1) // arity
-                received: PackedBits = cluster.recv(parent, rank, tag="m-tree-up")
-                transient = transient_vector_packed(
-                    bits[parent],
-                    received_weight=weight[rank],
-                    local_weight=weight[parent],
-                    rng=self.rngs[parent],
-                )
-                # Merge child (received) into parent (local).
-                bits[parent] = merge_sign_bits_packed(
-                    received, bits[parent], transient
-                )
-                weight[parent] += weight[rank]
-            transfer = cluster.end_step()
-            overlapped = model.rng_time(dimension)
-            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
-            cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
+                cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
         if weight[root] != num:
             raise AssertionError("tree reduce missed workers")
 
         # Broadcast: shallowest level first.
-        for level in levels[1:]:
-            cluster.begin_step()
-            for rank in level:
-                parent = (rank - 1) // arity
-                cluster.send(parent, rank, bits[parent], tag="m-tree-down")
-            for rank in level:
-                bits[rank] = cluster.recv(
-                    rank, (rank - 1) // arity, tag="m-tree-down"
-                )
-            cluster.end_step()
+        with tracer.span("all-gather", cat="phase", tag="m-tree-down"):
+            for level in levels[1:]:
+                cluster.begin_step()
+                for rank in level:
+                    parent = (rank - 1) // arity
+                    cluster.send(parent, rank, bits[parent], tag="m-tree-down")
+                for rank in level:
+                    bits[rank] = cluster.recv(
+                        rank, (rank - 1) // arity, tag="m-tree-down"
+                    )
+                cluster.end_step(tag="m-tree-down")
         if self.config.verify_consensus:
             for rank in range(1, num):
                 if not bits[rank].equals(bits[0]):
@@ -582,11 +634,10 @@ class MarsitSynchronizer:
         if not cycles:
             return
         model = cluster.cost_model
+        metrics = cluster.obs.metrics
         segment_elems = (
             int(grid.lengths[0].max()) if grid.lengths.size else 0
         )
-        # The first outgoing segment's signs must exist before step 0.
-        cluster.charge(Phase.COMPRESSION, model.compress_time(segment_elems))
 
         def combine(
             received: PackedBitsBatch,
@@ -600,6 +651,14 @@ class MarsitSynchronizer:
                 local_weights=base_weight,
                 rngs=[self.rngs[rank] for rank in ranks],
             )
+            if metrics is not None:
+                # Same statistic as the scalar combine, batched over lanes.
+                metrics.counter("marsit.transient_draws").inc(
+                    int((received ^ local).popcounts().sum())
+                )
+                metrics.counter("marsit.merged_bits").inc(
+                    int(local.lengths.sum())
+                )
             return merge_sign_bits_batch(received, local, transient)
 
         def charge_hop(step: int, transfer: float) -> None:
@@ -612,9 +671,25 @@ class MarsitSynchronizer:
             # The merge itself needs the received bits: charged in full.
             cluster.charge(Phase.COMPRESSION, model.bitop_time(segment_elems))
 
-        lockstep_ring_reduce_scatter(
-            cluster, cycles, grid, combine, tag=tag, on_step_end=charge_hop
-        )
+        with cluster.obs.tracer.span("reduce-scatter", cat="phase", tag=tag):
+            # The first outgoing segment's signs must exist before step 0.
+            cluster.charge(
+                Phase.COMPRESSION, model.compress_time(segment_elems)
+            )
+            lockstep_ring_reduce_scatter(
+                cluster, cycles, grid, combine, tag=tag, on_step_end=charge_hop
+            )
+
+    def _gather_cycles_batched(
+        self,
+        cluster: Cluster,
+        cycles: Sequence[Sequence[int]],
+        grid: PackedLaneGrid,
+        tag: str,
+    ) -> None:
+        """Batched all-gather under an ``all-gather`` phase span."""
+        with cluster.obs.tracer.span("all-gather", cat="phase", tag=tag):
+            lockstep_ring_all_gather(cluster, cycles, grid, tag=tag)
 
     def _check_grid_consensus(self, grid: PackedLaneGrid, where: str) -> None:
         if not self.config.verify_consensus or grid.num_lanes <= 1:
@@ -634,7 +709,7 @@ class MarsitSynchronizer:
         self._reduce_cycles_batched(
             cluster, [ranks], grid, base_weight=1, tag="m-rs"
         )
-        lockstep_ring_all_gather(cluster, [ranks], grid, tag="m-ag")
+        self._gather_cycles_batched(cluster, [ranks], grid, tag="m-ag")
         self._check_grid_consensus(grid, "gather phase")
         return PackedBits.concat(grid.segments_of(0))
 
@@ -676,7 +751,7 @@ class MarsitSynchronizer:
                 base_weight=cols,
                 tag="m-col-rs",
             )
-            lockstep_ring_all_gather(
+            self._gather_cycles_batched(
                 cluster, col_rank_lists, col_grid, tag="m-col-ag"
             )
             for lane, rank in enumerate(col_ranks):
@@ -688,7 +763,7 @@ class MarsitSynchronizer:
 
         # Row gather: circulate the now fully reduced owned segments.
         if cols > 1:
-            lockstep_ring_all_gather(
+            self._gather_cycles_batched(
                 cluster, row_rank_lists, grid, tag="m-row-ag"
             )
 
@@ -710,7 +785,7 @@ class MarsitSynchronizer:
             self._reduce_cycles_batched(
                 cluster, [ranks], grid, base_weight=1, tag=f"m-seg{start}-rs"
             )
-            lockstep_ring_all_gather(
+            self._gather_cycles_batched(
                 cluster, [ranks], grid, tag=f"m-seg{start}-ag"
             )
             self._check_grid_consensus(grid, "segmented-ring gather")
@@ -740,54 +815,67 @@ class MarsitSynchronizer:
             levels[depth].append(rank)
 
         model = cluster.cost_model
+        metrics = cluster.obs.metrics
+        tracer = cluster.obs.tracer
         dimension = matrix.shape[1]
         words = PackedBitsBatch.from_sign_matrix(matrix).words.copy()
         lengths = np.full(num, dimension, dtype=np.int64)
         weight = np.ones(num, dtype=np.int64)
-        cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
         nbytes = (dimension + 7) // 8
 
         # Reduce: deepest level first; each level is one synchronous step.
-        for level in reversed(levels[1:]):
-            for sibling in range(arity):
-                wave = [r for r in level if (r - 1) % arity == sibling]
-                if not wave:
-                    continue
-                wave_arr = np.asarray(wave)
-                parent_arr = (wave_arr - 1) // arity
-                received = PackedBitsBatch._trusted(
-                    words[wave_arr], lengths[wave_arr]
+        with tracer.span("reduce-scatter", cat="phase", tag="m-tree-up"):
+            cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
+            for level in reversed(levels[1:]):
+                for sibling in range(arity):
+                    wave = [r for r in level if (r - 1) % arity == sibling]
+                    if not wave:
+                        continue
+                    wave_arr = np.asarray(wave)
+                    parent_arr = (wave_arr - 1) // arity
+                    received = PackedBitsBatch._trusted(
+                        words[wave_arr], lengths[wave_arr]
+                    )
+                    local = PackedBitsBatch._trusted(
+                        words[parent_arr], lengths[parent_arr]
+                    )
+                    transient = transient_vector_batch(
+                        local,
+                        received_weights=weight[wave_arr],
+                        local_weights=weight[parent_arr],
+                        rngs=[self.rngs[int(p)] for p in parent_arr],
+                    )
+                    if metrics is not None:
+                        metrics.counter("marsit.transient_draws").inc(
+                            int((received ^ local).popcounts().sum())
+                        )
+                        metrics.counter("marsit.merged_bits").inc(
+                            int(local.lengths.sum())
+                        )
+                    merged = merge_sign_bits_batch(received, local, transient)
+                    words[parent_arr] = merged.words
+                    weight[parent_arr] += weight[wave_arr]
+                transfer = cluster.exchange(
+                    [(rank, (rank - 1) // arity, nbytes) for rank in level],
+                    tag="m-tree-up",
                 )
-                local = PackedBitsBatch._trusted(
-                    words[parent_arr], lengths[parent_arr]
+                overlapped = model.rng_time(dimension)
+                cluster.charge(
+                    Phase.COMPRESSION, max(0.0, overlapped - transfer)
                 )
-                transient = transient_vector_batch(
-                    local,
-                    received_weights=weight[wave_arr],
-                    local_weights=weight[parent_arr],
-                    rngs=[self.rngs[int(p)] for p in parent_arr],
-                )
-                merged = merge_sign_bits_batch(received, local, transient)
-                words[parent_arr] = merged.words
-                weight[parent_arr] += weight[wave_arr]
-            transfer = cluster.exchange(
-                [(rank, (rank - 1) // arity, nbytes) for rank in level],
-                tag="m-tree-up",
-            )
-            overlapped = model.rng_time(dimension)
-            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
-            cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
+                cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
         if int(weight[root]) != num:
             raise AssertionError("tree reduce missed workers")
 
         # Broadcast: shallowest level first.
-        for level in levels[1:]:
-            level_arr = np.asarray(level)
-            words[level_arr] = words[(level_arr - 1) // arity]
-            cluster.exchange(
-                [((rank - 1) // arity, rank, nbytes) for rank in level],
-                tag="m-tree-down",
-            )
+        with tracer.span("all-gather", cat="phase", tag="m-tree-down"):
+            for level in levels[1:]:
+                level_arr = np.asarray(level)
+                words[level_arr] = words[(level_arr - 1) // arity]
+                cluster.exchange(
+                    [((rank - 1) // arity, rank, nbytes) for rank in level],
+                    tag="m-tree-down",
+                )
         if self.config.verify_consensus and num > 1:
             if (words != words[0]).any():
                 raise AssertionError("tree consensus violated")
@@ -802,13 +890,14 @@ class MarsitSynchronizer:
         """Lines 12-13: FP32 all-reduce mean of the compensated updates."""
         if self.num_workers == 1:
             return [vectors[0].copy()]
-        if cluster.topology.name == "torus":
-            return torus_allreduce_mean(cluster, vectors)
-        if cluster.topology.name == "tree":
-            from repro.allreduce.tree import tree_allreduce
+        with cluster.obs.tracer.span("fp-allreduce", cat="phase"):
+            if cluster.topology.name == "torus":
+                return torus_allreduce_mean(cluster, vectors)
+            if cluster.topology.name == "tree":
+                from repro.allreduce.tree import tree_allreduce
 
-            wire = [np.asarray(v, dtype=np.float32) for v in vectors]
-            return tree_allreduce(
-                cluster, wire, finalize=lambda x: x / self.num_workers
-            )
-        return ring_allreduce_mean(cluster, vectors)
+                wire = [np.asarray(v, dtype=np.float32) for v in vectors]
+                return tree_allreduce(
+                    cluster, wire, finalize=lambda x: x / self.num_workers
+                )
+            return ring_allreduce_mean(cluster, vectors)

@@ -1,0 +1,72 @@
+"""Observability: simulated-time tracing, metrics, exporters, hooks.
+
+The paper's headline results are *accounting* claims — time breakdowns
+(Fig. 1a, Fig. 5) and traffic trajectories (Fig. 4b) — so this package makes
+the simulation's accounting inspectable from the inside:
+
+- :mod:`repro.obs.tracer` — nested spans in **simulated** seconds
+  (round -> reduce/gather phase -> per-hop step), driven by the cluster's
+  timeline charges.  The default :class:`NullTracer` is a no-op so
+  un-instrumented runs pay nothing.
+- :mod:`repro.obs.metrics` — counters / gauges / histograms for wire stats
+  (per-link bytes, step makespan, mailbox depth) and algorithm health
+  (sign agreement, compensation norm, transient draw rate).
+- :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto or
+  ``chrome://tracing``), JSONL event logs, and plain-text summaries.
+- :mod:`repro.obs.hooks` — trainer/strategy callbacks (``on_round_start`` /
+  ``on_sync_done`` / ``on_eval``) so probes attach without editing hot paths.
+
+Attach an :class:`Observability` bundle to a cluster to switch it all on::
+
+    from repro.obs import Observability
+    obs = Observability.tracing()
+    cluster = Cluster(ring_topology(4), obs=obs)
+    ...  # run a round
+    from repro.obs import write_chrome_trace
+    write_chrome_trace("round.trace.json", obs.tracer)
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    render_result_report,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.hooks import (
+    CallbackList,
+    JSONLLogger,
+    RoundMetricsProbe,
+    TrainerCallback,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_OBS,
+    NullTracer,
+    Observability,
+    SimTracer,
+    SpanRecord,
+)
+
+__all__ = [
+    "CallbackList",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JSONLLogger",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullTracer",
+    "Observability",
+    "RoundMetricsProbe",
+    "SimTracer",
+    "SpanRecord",
+    "TrainerCallback",
+    "chrome_trace",
+    "jsonl_lines",
+    "render_result_report",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,250 @@
+"""Exporters: Chrome trace-event JSON, JSONL event logs, text summaries.
+
+The Chrome trace output follows the Trace Event Format's ``"X"`` (complete)
+events with microsecond timestamps, so a recorded round opens directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` and renders the
+span tree round -> phase -> per-hop steps on one track.  Simulated seconds
+map to trace microseconds one-to-one (1 simulated second = 1e6 ts units).
+
+The JSONL exporter frames every span, instant event and metric as one JSON
+object per line — greppable, streamable, and append-safe across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.comm.timing import TimeLine
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "render_result_report",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+_US_PER_S = 1e6
+
+
+def _format_table(headers, rows) -> str:
+    # Imported lazily: repro.bench pulls the full workload/model stack,
+    # which must not become an import-time dependency of the obs package.
+    from repro.bench.reporting import format_table
+
+    return format_table(headers, rows)
+
+
+def chrome_trace(tracer: Any, metrics: Any | None = None) -> dict[str, Any]:
+    """Trace Event Format dict for a :class:`~repro.obs.tracer.SimTracer`.
+
+    Open spans (a trace captured mid-run) are closed at the tracer's current
+    ``now``.  Metric snapshots, when given, ride along in ``otherData``.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro simulated cluster"},
+        },
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "thread_name",
+            "args": {"name": "simulated time"},
+        },
+    ]
+    for span in tracer.spans:
+        end_s = span.end_s if span.end_s is not None else tracer.now
+        args = dict(span.args)
+        if span.phase_self_s:
+            args["phase_self_s"] = dict(span.phase_self_s)
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "name": span.name,
+                "cat": span.cat or "span",
+                "ts": span.start_s * _US_PER_S,
+                "dur": (end_s - span.start_s) * _US_PER_S,
+                "args": args,
+            }
+        )
+    for instant in tracer.events:
+        events.append(
+            {
+                "ph": "i",
+                "pid": 0,
+                "tid": 0,
+                "s": "g",
+                "name": instant["name"],
+                "ts": instant["ts_s"] * _US_PER_S,
+                "args": dict(instant["args"]),
+            }
+        )
+    other: dict[str, Any] = {"phase_totals_s": tracer.phase_breakdown()}
+    if metrics is not None:
+        other["metrics"] = metrics.snapshot()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str, tracer: Any, metrics: Any | None = None
+) -> None:
+    """Write :func:`chrome_trace` output as a Perfetto-loadable JSON file."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, metrics), handle, indent=1)
+        handle.write("\n")
+
+
+def jsonl_lines(
+    tracer: Any | None = None, metrics: Any | None = None
+) -> list[str]:
+    """Every span / instant / metric as one JSON object per line."""
+    lines: list[str] = []
+    if tracer is not None:
+        for span in tracer.spans:
+            end_s = span.end_s if span.end_s is not None else tracer.now
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "name": span.name,
+                        "cat": span.cat,
+                        "parent": span.parent,
+                        "index": span.index,
+                        "depth": span.depth,
+                        "start_s": span.start_s,
+                        "end_s": end_s,
+                        "phase_self_s": dict(span.phase_self_s),
+                        "args": span.args,
+                    },
+                    sort_keys=True,
+                )
+            )
+        for instant in tracer.events:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "instant",
+                        "name": instant["name"],
+                        "ts_s": instant["ts_s"],
+                        "args": instant["args"],
+                    },
+                    sort_keys=True,
+                )
+            )
+    if metrics is not None:
+        for name, entry in metrics.snapshot().items():
+            record = {"type": "metric", "name": name}
+            record.update(entry)
+            lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def write_jsonl(
+    path: str, tracer: Any | None = None, metrics: Any | None = None
+) -> None:
+    with open(path, "w") as handle:
+        for line in jsonl_lines(tracer, metrics):
+            handle.write(line + "\n")
+
+
+def summary_table(
+    metrics: Any | None = None, timeline: TimeLine | None = None
+) -> str:
+    """Plain-text run summary: phase breakdown plus one row per metric."""
+    sections: list[str] = []
+    if timeline is not None:
+        total = timeline.total
+        rows = []
+        for phase_name, seconds in timeline.breakdown().items():
+            share = 100.0 * seconds / total if total else 0.0
+            rows.append([phase_name, f"{seconds * 1e3:.3f}", f"{share:.1f}%"])
+        rows.append(["total", f"{total * 1e3:.3f}", "100.0%"])
+        sections.append(
+            "Simulated time by phase\n"
+            + _format_table(["phase", "ms", "share"], rows)
+        )
+    if metrics is not None:
+        rows = []
+        for name, entry in sorted(metrics.snapshot().items()):
+            kind = entry["kind"]
+            if kind == "counter":
+                value = f"{entry['value']:g}"
+            elif kind == "gauge":
+                value = f"last={entry['value']:g} mean={entry['mean']:g}"
+            else:
+                value = (
+                    f"n={entry['count']} mean={entry['mean']:g} "
+                    f"max={entry['max']:g}"
+                    if entry["count"]
+                    else "n=0"
+                )
+            rows.append([name, kind, value])
+        sections.append("Metrics\n" + _format_table(["metric", "kind", "value"], rows))
+    return "\n\n".join(sections) if sections else "(nothing recorded)"
+
+
+def render_result_report(result: dict[str, Any]) -> str:
+    """Human-readable report of a ``TrainResult.to_dict()`` JSON document.
+
+    This is what ``python -m repro report run.json`` prints: run totals, the
+    phase breakdown, and the evaluation history table.
+    """
+    lines = [
+        f"strategy        : {result.get('strategy', '?')}",
+        f"rounds run      : {result.get('rounds_run', '?')}",
+        f"final accuracy  : {result.get('final_accuracy', float('nan')):.4f}",
+        f"best accuracy   : {result.get('best_accuracy', float('nan')):.4f}",
+        f"total sim time  : {result.get('total_sim_time_s', 0.0) * 1e3:.2f} ms",
+        f"bytes on wire   : {result.get('total_comm_bytes', 0):,}",
+        f"avg bits/element: {result.get('avg_bits_per_element', 32.0):.2f}",
+        f"diverged        : {result.get('diverged', False)}",
+    ]
+    breakdown = result.get("time_breakdown_s") or {}
+    if breakdown:
+        total = sum(breakdown.values())
+        rows = [
+            [
+                phase,
+                f"{seconds * 1e3:.3f}",
+                f"{100.0 * seconds / total if total else 0.0:.1f}%",
+            ]
+            for phase, seconds in breakdown.items()
+        ]
+        lines.append("")
+        lines.append("Simulated time by phase")
+        lines.append(_format_table(["phase", "ms", "share"], rows))
+    history = result.get("history") or []
+    if history:
+        rows = [
+            [
+                record.get("round", "?"),
+                f"{record.get('sim_time_s', 0.0) * 1e3:.2f}",
+                f"{record.get('comm_bytes', 0):,}",
+                f"{record.get('train_loss', float('nan')):.4f}",
+                f"{record.get('test_accuracy', float('nan')):.4f}",
+                f"{record.get('bits_per_element', float('nan')):.2f}",
+            ]
+            for record in history
+        ]
+        lines.append("")
+        lines.append("Evaluation history")
+        lines.append(
+            _format_table(
+                ["round", "sim ms", "bytes", "train loss", "test acc", "bits"],
+                rows,
+            )
+        )
+    return "\n".join(lines)

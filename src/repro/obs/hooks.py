@@ -1,0 +1,160 @@
+"""Trainer / strategy callback hooks.
+
+Probes attach to the training loop without editing hot paths: the trainer
+(and :class:`~repro.train.strategies.MarsitStrategy`) accept a list of
+:class:`TrainerCallback` objects and fire
+
+- ``on_round_start(round_idx, **context)`` before the round's gradients,
+- ``on_sync_done(round_idx, step, **context)`` after synchronization, and
+- ``on_eval(round_idx, record, **context)`` after each held-out evaluation.
+
+``context`` always carries ``cluster=`` and, from the trainer, ``trainer=``.
+Unused hooks cost one no-op dispatch per round.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.comm.timing import TimeLine
+
+__all__ = [
+    "CallbackList",
+    "JSONLLogger",
+    "RoundMetricsProbe",
+    "TrainerCallback",
+]
+
+
+class TrainerCallback:
+    """Base class: override any subset of the hooks."""
+
+    def on_round_start(self, round_idx: int, **context: Any) -> None:
+        return None
+
+    def on_sync_done(self, round_idx: int, step: Any, **context: Any) -> None:
+        return None
+
+    def on_eval(self, round_idx: int, record: Any, **context: Any) -> None:
+        return None
+
+
+class CallbackList(TrainerCallback):
+    """Dispatches each hook to every registered callback, in order."""
+
+    def __init__(
+        self, callbacks: Sequence[TrainerCallback] | None = None
+    ) -> None:
+        self.callbacks: list[TrainerCallback] = list(callbacks or [])
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def __iter__(self) -> Iterable[TrainerCallback]:
+        return iter(self.callbacks)
+
+    def append(self, callback: TrainerCallback) -> None:
+        self.callbacks.append(callback)
+
+    def on_round_start(self, round_idx: int, **context: Any) -> None:
+        for callback in self.callbacks:
+            callback.on_round_start(round_idx, **context)
+
+    def on_sync_done(self, round_idx: int, step: Any, **context: Any) -> None:
+        for callback in self.callbacks:
+            callback.on_sync_done(round_idx, step, **context)
+
+    def on_eval(self, round_idx: int, record: Any, **context: Any) -> None:
+        for callback in self.callbacks:
+            callback.on_eval(round_idx, record, **context)
+
+
+class RoundMetricsProbe(TrainerCallback):
+    """Feeds per-round trainer statistics into a metrics registry.
+
+    Records the per-round simulated-time delta by phase (what each round
+    *cost*, not just the running total), the wire width, and evaluation
+    accuracy/loss — the live version of the axes in Figures 3-5.
+    """
+
+    def __init__(self, metrics: Any) -> None:
+        self.metrics = metrics
+        self._last_timeline: TimeLine | None = None
+
+    def on_round_start(self, round_idx: int, **context: Any) -> None:
+        cluster = context.get("cluster")
+        if cluster is not None:
+            self._last_timeline = cluster.timeline.copy()
+
+    def on_sync_done(self, round_idx: int, step: Any, **context: Any) -> None:
+        cluster = context.get("cluster")
+        bits = getattr(step, "bits_per_element", None)
+        if bits is not None:
+            self.metrics.gauge("round.bits_per_element").set(float(bits))
+        if cluster is None:
+            return
+        self.metrics.gauge("round.total_bytes").set(float(cluster.total_bytes))
+        if self._last_timeline is not None:
+            delta = cluster.timeline.delta_since(self._last_timeline)
+            for phase_name, seconds in delta.items():
+                self.metrics.gauge("round.phase_s", phase=phase_name).set(
+                    seconds
+                )
+
+    def on_eval(self, round_idx: int, record: Any, **context: Any) -> None:
+        self.metrics.gauge("eval.test_accuracy").set(record.test_accuracy)
+        self.metrics.gauge("eval.test_loss").set(record.test_loss)
+        self.metrics.gauge("eval.train_loss").set(record.train_loss)
+
+
+class JSONLLogger(TrainerCallback):
+    """Collects one JSON-ready event dict per hook firing.
+
+    Events accumulate in memory (runs here are thousands of rounds at most);
+    :meth:`save` writes them as JSON Lines, one event per line, matching the
+    tracer exporter's framing so both logs can be concatenated.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def _push(self, kind: str, round_idx: int, payload: dict[str, Any]) -> None:
+        event = {"type": kind, "round": round_idx}
+        event.update(payload)
+        self.events.append(event)
+
+    def on_round_start(self, round_idx: int, **context: Any) -> None:
+        cluster = context.get("cluster")
+        payload: dict[str, Any] = {}
+        if cluster is not None:
+            payload["sim_time_s"] = cluster.timeline.total
+            payload["total_bytes"] = cluster.total_bytes
+        self._push("round_start", round_idx, payload)
+
+    def on_sync_done(self, round_idx: int, step: Any, **context: Any) -> None:
+        cluster = context.get("cluster")
+        payload: dict[str, Any] = {}
+        bits = getattr(step, "bits_per_element", None)
+        if bits is not None:
+            payload["bits_per_element"] = float(bits)
+        if cluster is not None:
+            payload["sim_time_s"] = cluster.timeline.total
+            payload["total_bytes"] = cluster.total_bytes
+        self._push("sync_done", round_idx, payload)
+
+    def on_eval(self, round_idx: int, record: Any, **context: Any) -> None:
+        self._push(
+            "eval",
+            round_idx,
+            {
+                "test_accuracy": record.test_accuracy,
+                "test_loss": record.test_loss,
+                "train_loss": record.train_loss,
+            },
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")

@@ -1,0 +1,269 @@
+"""Span tracing in simulated time.
+
+A real profiler samples a wall clock; here the clock *is* the sum of the
+charges the cost model pushes into the cluster's :class:`~repro.comm.timing.
+TimeLine`, so the tracer advances its ``now`` by exactly those charges and
+attributes each one to the innermost open span.  Because both the timeline
+and the tracer accumulate the same floats in the same order, span durations
+sum to the timeline's per-phase totals with **exact** float equality — the
+trace is the timeline, exploded into a tree.
+
+Two tracers share one interface:
+
+- :class:`SimTracer` records everything (spans, instant events, per-phase
+  attribution) for export to Perfetto / JSONL.
+- :class:`NullTracer` is the default: every method is a no-op and ``span``
+  returns a shared do-nothing context manager, so instrumented hot paths
+  cost a handful of no-op calls per synchronous step.
+
+:class:`Observability` bundles a tracer with an optional
+:class:`~repro.obs.metrics.MetricsRegistry`; ``NULL_OBS`` is the shared
+disabled bundle the cluster uses by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm.timing import Phase
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_OBS",
+    "NullTracer",
+    "Observability",
+    "SimTracer",
+    "SpanRecord",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One closed or open span, in simulated seconds.
+
+    ``phase_self_s`` holds the seconds charged while this span was the
+    innermost open span, keyed by :class:`Phase` value — child time is *not*
+    included, so summing ``phase_self_s`` over every span of a trace
+    reproduces the timeline totals exactly.
+    """
+
+    index: int
+    parent: int  # parent span index, -1 for a top-level span
+    name: str
+    cat: str
+    depth: int
+    start_s: float
+    end_s: float | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+    phase_self_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_s - self.start_s
+
+    @property
+    def self_time_s(self) -> float:
+        return sum(self.phase_self_s.values())
+
+
+class _NullSpanContext:
+    """Reusable do-nothing ``with`` target for :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The zero-overhead default: records nothing."""
+
+    enabled = False
+    __slots__ = ()
+
+    def begin(self, name: str, cat: str = "", **args: Any) -> None:
+        return None
+
+    def end(self, **args: Any) -> None:
+        return None
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def advance(self, phase: Phase, seconds: float) -> None:
+        return None
+
+    def record_step(
+        self, name: str, phase: Phase, seconds: float, cat: str = "step",
+        **args: Any,
+    ) -> None:
+        return None
+
+    def instant(self, name: str, **args: Any) -> None:
+        return None
+
+
+class _SpanContext:
+    """``with tracer.span(...)`` helper closing the span on exit."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "SimTracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer.end()
+
+
+class SimTracer:
+    """Records nested spans against the simulated clock.
+
+    The clock only moves through :meth:`advance` (and :meth:`record_step`,
+    which wraps it), which is exactly what the cluster calls for every
+    timeline charge — so ``now`` always equals ``timeline.total`` of the
+    cluster driving it.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.spans: list[SpanRecord] = []
+        self.events: list[dict[str, Any]] = []
+        self.phase_totals: dict[Phase, float] = {phase: 0.0 for phase in Phase}
+        #: charges that arrived with no span open (e.g. trainer compute
+        #: outside any synchronization round)
+        self.unattributed: dict[str, float] = {}
+        self._stack: list[int] = []
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, name: str, cat: str = "", **args: Any) -> SpanRecord:
+        parent = self._stack[-1] if self._stack else -1
+        record = SpanRecord(
+            index=len(self.spans),
+            parent=parent,
+            name=name,
+            cat=cat,
+            depth=len(self._stack),
+            start_s=self.now,
+            args=dict(args),
+        )
+        self.spans.append(record)
+        self._stack.append(record.index)
+        return record
+
+    def end(self, **args: Any) -> SpanRecord:
+        if not self._stack:
+            raise RuntimeError("no span open")
+        record = self.spans[self._stack.pop()]
+        record.end_s = self.now
+        if args:
+            record.args.update(args)
+        return record
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _SpanContext:
+        self.begin(name, cat=cat, **args)
+        return _SpanContext(self)
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def advance(self, phase: Phase, seconds: float) -> None:
+        """Move simulated time forward, attributing to the open span.
+
+        ``now`` is recomputed as the sum of the per-phase accumulators —
+        the same expression as ``TimeLine.total`` — so it equals the
+        driving cluster's ``timeline.total`` bit for bit, not merely to
+        rounding error.
+        """
+        self.phase_totals[phase] += seconds
+        self.now = sum(self.phase_totals.values())
+        key = phase.value
+        if self._stack:
+            bucket = self.spans[self._stack[-1]].phase_self_s
+        else:
+            bucket = self.unattributed
+        bucket[key] = bucket.get(key, 0.0) + seconds
+
+    def record_step(
+        self, name: str, phase: Phase, seconds: float, cat: str = "step",
+        **args: Any,
+    ) -> SpanRecord:
+        """One leaf span of exactly ``seconds`` at the current position.
+
+        The cluster calls this for every synchronous step, so hop spans nest
+        under whatever phase span the collective opened.
+        """
+        self.begin(name, cat=cat, **args)
+        self.advance(phase, seconds)
+        return self.end()
+
+    def instant(self, name: str, **args: Any) -> None:
+        """A zero-duration marker at the current simulated time."""
+        self.events.append({"name": name, "ts_s": self.now, "args": dict(args)})
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def children_of(self, index: int) -> list[SpanRecord]:
+        return [span for span in self.spans if span.parent == index]
+
+    def roots(self) -> list[SpanRecord]:
+        return [span for span in self.spans if span.parent == -1]
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Phase name -> attributed seconds (mirrors ``TimeLine.breakdown``)."""
+        return {phase.value: self.phase_totals[phase] for phase in Phase}
+
+
+class Observability:
+    """A tracer plus an optional metrics registry, attachable to a cluster."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: SimTracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics is not None
+
+    @classmethod
+    def tracing(cls) -> "Observability":
+        """Full instrumentation: spans *and* metrics."""
+        return cls(tracer=SimTracer(), metrics=MetricsRegistry())
+
+    @classmethod
+    def metrics_only(cls) -> "Observability":
+        return cls(metrics=MetricsRegistry())
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls()
+
+
+#: The shared disabled bundle; clusters default to this so the
+#: un-instrumented hot path stays allocation-free.
+NULL_OBS = Observability()

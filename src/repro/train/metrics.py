@@ -144,3 +144,34 @@ class TrainResult:
             with open(path, "w") as handle:
                 handle.write(text + "\n")
         return text
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainResult":
+        """Inverse of :meth:`to_dict` (used by ``python -m repro report``).
+
+        ``best_accuracy`` is recomputed from the history rather than stored,
+        so ``from_dict(to_dict(r))`` round-trips every field.
+        """
+        result = cls(
+            strategy_name=payload["strategy"],
+            final_accuracy=payload.get("final_accuracy", 0.0),
+            total_sim_time_s=payload.get("total_sim_time_s", 0.0),
+            total_comm_bytes=payload.get("total_comm_bytes", 0),
+            time_breakdown_s=dict(payload.get("time_breakdown_s") or {}),
+            rounds_run=payload.get("rounds_run", 0),
+            diverged=payload.get("diverged", False),
+            avg_bits_per_element=payload.get("avg_bits_per_element", 32.0),
+        )
+        for record in payload.get("history") or []:
+            result.history.append(
+                RoundRecord(
+                    round_idx=record["round"],
+                    sim_time_s=record["sim_time_s"],
+                    comm_bytes=record["comm_bytes"],
+                    train_loss=record["train_loss"],
+                    test_accuracy=record["test_accuracy"],
+                    test_loss=record["test_loss"],
+                    bits_per_element=record["bits_per_element"],
+                )
+            )
+        return result

@@ -42,6 +42,7 @@ from repro.compression.ef import EFSignCompressor
 from repro.compression.ssdm import SSDMCompressor, stochastic_sign
 from repro.core.marsit import MarsitConfig
 from repro.core.optimizer import MarsitAdam, MarsitMomentum, MarsitSGD
+from repro.obs.hooks import CallbackList
 
 __all__ = [
     "CascadingSSDMStrategy",
@@ -637,6 +638,7 @@ class MarsitStrategy(SyncStrategy):
         segment_elems: int | None = None,
         engine: str = "batched",
         verify_consensus: bool = True,
+        callbacks=None,
     ) -> None:
         config = MarsitConfig(
             global_lr=global_lr,
@@ -658,6 +660,7 @@ class MarsitStrategy(SyncStrategy):
         else:
             raise ValueError(f"unknown base optimizer {base_optimizer!r}")
         self.num_workers = num_workers
+        self.callbacks = CallbackList(callbacks)
         if not 0.0 < local_lr_decay <= 1.0:
             raise ValueError("local_lr_decay must be in (0, 1]")
         self.local_lr_decay = local_lr_decay
@@ -667,6 +670,7 @@ class MarsitStrategy(SyncStrategy):
     def step(
         self, cluster: Cluster, grads: list[np.ndarray], round_idx: int
     ) -> StepResult:
+        self.callbacks.on_round_start(round_idx, cluster=cluster, strategy=self)
         report = self._optimizer.step(cluster, grads, round_idx)
         if (
             report.full_precision
@@ -674,7 +678,11 @@ class MarsitStrategy(SyncStrategy):
             and self.local_lr_decay != 1.0
         ):
             self._optimizer.local_lr *= self.local_lr_decay
-        return StepResult(
+        result = StepResult(
             updates=report.global_updates,
             bits_per_element=report.bits_per_element,
         )
+        self.callbacks.on_sync_done(
+            round_idx, result, cluster=cluster, strategy=self
+        )
+        return result

@@ -21,6 +21,7 @@ Per round the trainer:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Callable
 
@@ -38,6 +39,8 @@ from repro.data.sharding import WorkerBatchIterator, shard_dirichlet, shard_iid
 from repro.data.synthetic import ArrayDataset
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
+from repro.obs.hooks import CallbackList, TrainerCallback
+from repro.obs.tracer import Observability
 from repro.train.metrics import RoundRecord, TrainResult, evaluate
 from repro.train.strategies import SyncStrategy
 
@@ -152,13 +155,18 @@ class DistributedTrainer:
         strategy: SyncStrategy,
         config: TrainConfig,
         cost_model: CostModel | None = None,
+        callbacks: Sequence[TrainerCallback] | None = None,
+        observability: Observability | None = None,
     ) -> None:
         self.model = model_factory()
         self.train_set = train_set
         self.test_set = test_set
         self.strategy = strategy
         self.config = config
+        self.callbacks = CallbackList(callbacks)
         self.cluster = make_cluster(config, cost_model=cost_model)
+        if observability is not None:
+            self.cluster.attach_observability(observability)
         if config.sharding == "dirichlet":
             shards = shard_dirichlet(
                 train_set,
@@ -238,12 +246,18 @@ class DistributedTrainer:
         bits_seen: list[float] = []
         train_loss = float("nan")
         for round_idx in range(self.config.rounds):
+            self.callbacks.on_round_start(
+                round_idx, cluster=self.cluster, trainer=self
+            )
             grads, train_loss = self._worker_gradients()
             if not np.isfinite(train_loss) or train_loss > self.config.divergence_loss:
                 result.diverged = True
                 result.rounds_run = round_idx
                 break
             step = self.strategy.step(self.cluster, grads, round_idx)
+            self.callbacks.on_sync_done(
+                round_idx, step, cluster=self.cluster, trainer=self
+            )
             bits_seen.append(step.bits_per_element)
             update = step.updates[0]
             if not np.isfinite(update).all():
@@ -259,16 +273,18 @@ class DistributedTrainer:
                     self.test_set,
                     max_batches=self.config.eval_max_batches,
                 )
-                result.history.append(
-                    RoundRecord(
-                        round_idx=round_idx,
-                        sim_time_s=self.cluster.timeline.total,
-                        comm_bytes=self.cluster.total_bytes,
-                        train_loss=train_loss,
-                        test_accuracy=accuracy,
-                        test_loss=test_loss,
-                        bits_per_element=step.bits_per_element,
-                    )
+                record = RoundRecord(
+                    round_idx=round_idx,
+                    sim_time_s=self.cluster.timeline.total,
+                    comm_bytes=self.cluster.total_bytes,
+                    train_loss=train_loss,
+                    test_accuracy=accuracy,
+                    test_loss=test_loss,
+                    bits_per_element=step.bits_per_element,
+                )
+                result.history.append(record)
+                self.callbacks.on_eval(
+                    round_idx, record, cluster=self.cluster, trainer=self
                 )
         result.final_accuracy = (
             result.history[-1].test_accuracy if result.history else 0.0

@@ -1,0 +1,24 @@
+"""Smoke-run the observability overhead benchmark's ``--check`` mode.
+
+Exercises the bare-vs-instrumented-off-vs-tracing comparison machinery on a
+small input so an API break in the bench fails tier 1.  Timings at this
+size are noise, so no overhead ceiling is asserted here — the < 3% gate
+lives in the slow full-mode test.
+"""
+
+from benchmarks.bench_obs_overhead import (
+    CHECK_DIMENSION,
+    CHECK_WORKERS,
+    run_mode,
+)
+
+
+def test_check_mode_runs_and_reports(capsys):
+    results = run_mode("check")
+    assert set(results) == {str(m) for m in CHECK_WORKERS}
+    for entry in results.values():
+        assert entry["bare_s"] > 0
+        assert entry["off_s"] > 0
+        assert entry["traced_s"] > 0
+    out = capsys.readouterr().out
+    assert f"D={CHECK_DIMENSION}" in out

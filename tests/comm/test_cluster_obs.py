@@ -1,0 +1,129 @@
+"""Cluster observability wiring plus the accounting regression fixes."""
+
+import typing
+
+import pytest
+
+from repro.comm.cluster import Cluster
+from repro.comm.timing import Phase
+from repro.comm.topology import ring_topology
+from repro.obs import Observability
+from repro.obs.tracer import NULL_OBS
+
+
+class TestResetAccountingRegression:
+    def test_reset_raises_inside_open_step(self):
+        cluster = Cluster(ring_topology(3))
+        cluster.begin_step()
+        cluster.send(0, 1, b"xy", tag="t")
+        with pytest.raises(RuntimeError, match="open step"):
+            cluster.reset_accounting()
+        # The step is still usable after the refused reset.
+        assert cluster.end_step() > 0.0
+
+    def test_reset_clears_step_state(self):
+        cluster = Cluster(ring_topology(3))
+        cluster.begin_step()
+        cluster.send(0, 1, b"xy", tag="t")
+        cluster.end_step()
+        cluster.recv(1, 0, tag="t")
+        # end_step leaves the last step's byte map behind; reset must not.
+        assert cluster._step_bytes
+        cluster.reset_accounting()
+        assert cluster._step_bytes == {}
+        assert cluster._step_messages == 0
+        assert cluster.total_bytes == 0
+        assert cluster.timeline.total == 0.0
+
+    def test_reset_then_fresh_step_accounts_only_new_traffic(self):
+        cluster = Cluster(ring_topology(3))
+        cluster.begin_step()
+        cluster.send(0, 1, b"before", tag="a")
+        cluster.end_step()
+        cluster.recv(1, 0, tag="a")
+        cluster.reset_accounting()
+        cluster.begin_step()
+        cluster.send(1, 2, b"xy", tag="b")
+        elapsed = cluster.end_step()
+        cluster.recv(2, 1, tag="b")
+        model = cluster.cost_model
+        assert elapsed == model.latency_s + 2 / model.bandwidth_Bps
+
+
+class TestExchangeAnnotationRegression:
+    def test_get_type_hints_resolves(self):
+        # "Sequence[...]" used to be an unresolvable string annotation.
+        hints = typing.get_type_hints(Cluster.exchange)
+        assert "transfers" in hints
+        assert hints["return"] is float
+
+
+class TestObservabilityAttachment:
+    def test_default_is_shared_null_bundle(self):
+        cluster = Cluster(ring_topology(2))
+        assert cluster.obs is NULL_OBS
+        assert cluster._obs_on is False
+
+    def test_constructor_and_setter_attach(self):
+        obs = Observability.tracing()
+        cluster = Cluster(ring_topology(2), obs=obs)
+        assert cluster.obs is obs and cluster._obs_on is True
+        cluster.attach_observability(Observability.disabled())
+        assert cluster._obs_on is False
+
+    def test_charge_feeds_tracer(self):
+        obs = Observability.tracing()
+        cluster = Cluster(ring_topology(2), obs=obs)
+        cluster.charge(Phase.COMPUTATION, 0.5)
+        assert obs.tracer.now == 0.5
+        assert obs.tracer.unattributed == {"computation": 0.5}
+
+    def test_step_records_hop_span_and_wire_metrics(self):
+        obs = Observability.tracing()
+        cluster = Cluster(ring_topology(3), obs=obs)
+        cluster.begin_step()
+        cluster.send(0, 1, b"abcd", tag="t")
+        cluster.send(1, 2, b"ab", tag="t")
+        elapsed = cluster.end_step(tag="step:0")
+        cluster.recv(1, 0, tag="t")
+        cluster.recv(2, 1, tag="t")
+        (hop,) = obs.tracer.spans
+        assert hop.name == "hop"
+        assert hop.args == {
+            "tag": "step:0", "bytes": 6, "messages": 2, "links": 2,
+        }
+        assert hop.duration_s == elapsed
+        metrics = obs.metrics
+        assert metrics.get("wire.link_bytes", link="0->1").value == 4
+        assert metrics.get("wire.link_bytes", link="1->2").value == 2
+        assert metrics.get("wire.steps").value == 1
+        assert metrics.get("wire.step_messages").value == 2
+        assert metrics.get("wire.step_makespan_s").count == 1
+        # Mailbox depth was sampled before the recvs drained it.
+        assert metrics.get("cluster.mailbox_depth").value == 2
+
+    def test_exchange_records_identical_metrics_as_stepped_path(self):
+        def run(use_exchange: bool):
+            obs = Observability.tracing()
+            cluster = Cluster(ring_topology(3), obs=obs)
+            if use_exchange:
+                cluster.exchange([(0, 1, 4), (1, 2, 2)], tag="step:0")
+            else:
+                cluster.begin_step()
+                cluster.send(0, 1, b"abcd", tag="t")
+                cluster.send(1, 2, b"ab", tag="t")
+                cluster.end_step(tag="step:0")
+                cluster.recv(1, 0, tag="t")
+                cluster.recv(2, 1, tag="t")
+            snap = obs.metrics.snapshot()
+            return {k: v for k, v in snap.items() if k.startswith("wire.")}
+
+        assert run(True) == run(False)
+
+    def test_empty_step_records_nothing(self):
+        obs = Observability.tracing()
+        cluster = Cluster(ring_topology(2), obs=obs)
+        cluster.begin_step()
+        assert cluster.end_step() == 0.0
+        assert cluster.exchange([]) == 0.0
+        assert obs.tracer.spans == []

@@ -1,0 +1,77 @@
+"""CLI tests for the observability flags and the ``report`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestTrainFlags:
+    def test_parser_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["--trace", "t.json", "--metrics-jsonl", "m.jsonl", "--save", "r.json"]
+        )
+        assert args.trace == "t.json"
+        assert args.metrics_jsonl == "m.jsonl"
+        assert args.save == "r.json"
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args([])
+        assert args.trace is None
+        assert args.metrics_jsonl is None
+        assert args.save is None
+
+    def test_run_writes_trace_metrics_and_result(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.jsonl"
+        run = tmp_path / "run.json"
+        code = main(
+            [
+                "--strategy", "marsit", "--workers", "2", "--rounds", "3",
+                "--trace", str(trace),
+                "--metrics-jsonl", str(metrics),
+                "--save", str(run),
+            ]
+        )
+        assert code == 0
+        document = json.loads(trace.read_text())
+        assert any(
+            event.get("name") == "round"
+            for event in document["traceEvents"]
+        )
+        for line in metrics.read_text().splitlines():
+            assert json.loads(line)["type"] == "metric"
+        assert json.loads(run.read_text())["strategy"] == "marsit"
+
+
+class TestReportSubcommand:
+    def test_report_prints_saved_run(self, tmp_path, capsys):
+        run = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "--strategy", "marsit", "--workers", "2", "--rounds", "3",
+                    "--save", str(run),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "strategy        : marsit" in out
+        assert "Evaluation history" in out
+
+    def test_report_missing_file_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_invalid_json_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", str(bad)]) == 2
+
+    def test_report_requires_a_path(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

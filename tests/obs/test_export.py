@@ -1,0 +1,156 @@
+"""Exporter tests: Chrome trace JSON, JSONL, text summaries."""
+
+import json
+
+from repro.comm.timing import Phase, TimeLine
+from repro.obs import (
+    MetricsRegistry,
+    SimTracer,
+    chrome_trace,
+    jsonl_lines,
+    render_result_report,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_tracer() -> SimTracer:
+    tracer = SimTracer()
+    with tracer.span("round", cat="marsit", round=0):
+        with tracer.span("reduce-scatter", cat="phase"):
+            tracer.record_step(
+                "hop", Phase.COMMUNICATION, 0.25, tag="rs:0", bytes=64
+            )
+        tracer.instant("consensus", round=0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        document = chrome_trace(_sample_tracer())
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        phases = [event["ph"] for event in document["traceEvents"]]
+        assert phases.count("M") == 2
+        assert phases.count("X") == 3
+        assert phases.count("i") == 1
+
+    def test_timestamps_are_microseconds(self):
+        document = chrome_trace(_sample_tracer())
+        hop = next(
+            e for e in document["traceEvents"] if e.get("name") == "hop"
+        )
+        assert hop["dur"] == 0.25 * 1e6
+        assert hop["args"]["tag"] == "rs:0"
+        assert hop["args"]["phase_self_s"] == {"communication": 0.25}
+
+    def test_open_spans_close_at_now(self):
+        tracer = SimTracer()
+        tracer.begin("open")
+        tracer.advance(Phase.COMMUNICATION, 1.0)
+        document = chrome_trace(tracer)
+        span = next(
+            e for e in document["traceEvents"] if e.get("name") == "open"
+        )
+        assert span["dur"] == 1e6
+
+    def test_metrics_ride_in_other_data(self):
+        metrics = MetricsRegistry()
+        metrics.counter("wire.steps").inc(3)
+        document = chrome_trace(_sample_tracer(), metrics)
+        assert document["otherData"]["metrics"]["wire.steps"]["value"] == 3.0
+        assert "phase_totals_s" in document["otherData"]
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), _sample_tracer())
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == 6
+
+
+class TestJsonl:
+    def test_every_line_parses(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("depth").set(1.0)
+        lines = jsonl_lines(_sample_tracer(), metrics)
+        parsed = [json.loads(line) for line in lines]
+        kinds = [record["type"] for record in parsed]
+        assert kinds.count("span") == 3
+        assert kinds.count("instant") == 1
+        assert kinds.count("metric") == 1
+
+    def test_span_lines_carry_tree_fields(self):
+        lines = jsonl_lines(_sample_tracer())
+        spans = [
+            json.loads(line)
+            for line in lines
+            if json.loads(line)["type"] == "span"
+        ]
+        root = next(s for s in spans if s["name"] == "round")
+        assert root["parent"] == -1
+        hop = next(s for s in spans if s["name"] == "hop")
+        assert hop["depth"] == 2
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(str(path), _sample_tracer())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)
+
+
+class TestSummaryTable:
+    def test_with_timeline_and_metrics(self):
+        timeline = TimeLine()
+        timeline.add(Phase.COMMUNICATION, 0.9)
+        timeline.add(Phase.COMPRESSION, 0.1)
+        metrics = MetricsRegistry()
+        metrics.counter("wire.steps").inc(4)
+        metrics.gauge("depth").set(2.0)
+        metrics.histogram("mk").observe(0.5)
+        text = summary_table(metrics, timeline)
+        assert "communication" in text
+        assert "90.0%" in text
+        assert "wire.steps" in text
+        assert "counter" in text
+
+    def test_empty(self):
+        assert summary_table() == "(nothing recorded)"
+
+
+class TestResultReport:
+    def test_renders_totals_and_history(self):
+        report = render_result_report(
+            {
+                "strategy": "marsit",
+                "rounds_run": 2,
+                "final_accuracy": 0.5,
+                "best_accuracy": 0.6,
+                "total_sim_time_s": 0.002,
+                "total_comm_bytes": 1234,
+                "avg_bits_per_element": 1.0,
+                "diverged": False,
+                "time_breakdown_s": {"communication": 0.002},
+                "history": [
+                    {
+                        "round": 0,
+                        "sim_time_s": 0.001,
+                        "comm_bytes": 600,
+                        "train_loss": 2.0,
+                        "test_accuracy": 0.4,
+                        "test_loss": 2.1,
+                        "bits_per_element": 1.0,
+                    }
+                ],
+            }
+        )
+        assert "marsit" in report
+        assert "1,234" in report
+        assert "communication" in report
+        assert "Evaluation history" in report
+
+    def test_tolerates_minimal_document(self):
+        report = render_result_report({"strategy": "psgd"})
+        assert "psgd" in report

@@ -1,0 +1,120 @@
+"""Callback / hook API tests: dispatch, probes, and trainer integration."""
+
+import json
+
+import numpy as np
+
+from repro import quick_train
+from repro.obs import (
+    CallbackList,
+    JSONLLogger,
+    MetricsRegistry,
+    RoundMetricsProbe,
+    TrainerCallback,
+)
+
+
+class _Recorder(TrainerCallback):
+    def __init__(self):
+        self.calls = []
+
+    def on_round_start(self, round_idx, **context):
+        self.calls.append(("round_start", round_idx, sorted(context)))
+
+    def on_sync_done(self, round_idx, step, **context):
+        self.calls.append(("sync_done", round_idx, sorted(context)))
+
+    def on_eval(self, round_idx, record, **context):
+        self.calls.append(("eval", round_idx, sorted(context)))
+
+
+class TestCallbackList:
+    def test_dispatches_in_order(self):
+        first, second = _Recorder(), _Recorder()
+        callbacks = CallbackList([first, second])
+        callbacks.on_round_start(0, cluster=None)
+        callbacks.on_sync_done(0, None, cluster=None)
+        callbacks.on_eval(0, None, cluster=None)
+        assert len(first.calls) == len(second.calls) == 3
+        assert first.calls == second.calls
+
+    def test_append_and_len(self):
+        callbacks = CallbackList()
+        assert len(callbacks) == 0
+        callbacks.append(_Recorder())
+        assert len(callbacks) == 1
+        assert list(callbacks)
+
+    def test_base_hooks_are_noops(self):
+        callback = TrainerCallback()
+        callback.on_round_start(0)
+        callback.on_sync_done(0, None)
+        callback.on_eval(0, None)
+
+
+class TestTrainerIntegration:
+    def test_hooks_fire_every_round(self):
+        recorder = _Recorder()
+        result = quick_train(
+            strategy="marsit", num_workers=2, rounds=4, callbacks=[recorder]
+        )
+        starts = [c for c in recorder.calls if c[0] == "round_start"]
+        syncs = [c for c in recorder.calls if c[0] == "sync_done"]
+        evals = [c for c in recorder.calls if c[0] == "eval"]
+        assert [c[1] for c in starts] == [0, 1, 2, 3]
+        assert [c[1] for c in syncs] == [0, 1, 2, 3]
+        assert len(evals) == len(result.history)
+        # Context always carries the cluster and the trainer.
+        assert starts[0][2] == ["cluster", "trainer"]
+
+    def test_round_metrics_probe_records_phase_deltas(self):
+        metrics = MetricsRegistry()
+        quick_train(
+            strategy="marsit",
+            num_workers=2,
+            rounds=3,
+            callbacks=[RoundMetricsProbe(metrics)],
+        )
+        bits = metrics.get("round.bits_per_element")
+        assert bits is not None and len(bits.series) == 3
+        comm = metrics.get("round.phase_s", phase="communication")
+        assert comm is not None and all(s > 0 for s in comm.series)
+        assert metrics.get("eval.test_accuracy") is not None
+
+    def test_jsonl_logger_saves_parseable_events(self, tmp_path):
+        logger = JSONLLogger()
+        quick_train(
+            strategy="marsit", num_workers=2, rounds=3, callbacks=[logger]
+        )
+        path = tmp_path / "events.jsonl"
+        logger.save(str(path))
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        kinds = {record["type"] for record in records}
+        assert kinds == {"round_start", "sync_done", "eval"}
+        sync = next(r for r in records if r["type"] == "sync_done")
+        assert sync["bits_per_element"] == 1.0
+        assert sync["total_bytes"] > 0
+
+
+class TestStrategyCallbacks:
+    def test_marsit_strategy_fires_hooks(self):
+        from repro.comm.cluster import Cluster
+        from repro.comm.topology import ring_topology
+        from repro.train.strategies import MarsitStrategy
+
+        recorder = _Recorder()
+        strategy = MarsitStrategy(
+            local_lr=0.05,
+            global_lr=0.01,
+            num_workers=2,
+            dimension=32,
+            callbacks=[recorder],
+        )
+        cluster = Cluster(ring_topology(2))
+        rng = np.random.default_rng(0)
+        grads = [rng.standard_normal(32) for _ in range(2)]
+        strategy.step(cluster, grads, 0)
+        assert [c[0] for c in recorder.calls] == ["round_start", "sync_done"]
+        assert recorder.calls[0][2] == ["cluster", "strategy"]

@@ -1,0 +1,192 @@
+"""Acceptance tests: tracing a real Marsit round end to end.
+
+The ISSUE acceptance criteria, verbatim: with tracing enabled, a 4-worker
+one-bit ring round exports valid Chrome trace JSON whose span tree is
+round -> phase -> per-hop steps; span self-times sum to the cluster
+timeline's phase totals with *exact* float equality; and the scalar and
+batched engines emit identical traffic metrics.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import Cluster
+from repro.comm.timing import Phase
+from repro.comm.topology import ring_topology, torus_topology, tree_topology
+from repro.core.marsit import MarsitConfig, MarsitSynchronizer
+from repro.obs import Observability, chrome_trace
+
+WORKERS = 4
+DIMENSION = 256
+
+
+def _trace_round(engine: str, topology=None, **config_kwargs):
+    obs = Observability.tracing()
+    cluster = Cluster(
+        topology if topology is not None else ring_topology(WORKERS),
+        obs=obs,
+    )
+    num = cluster.num_workers
+    sync = MarsitSynchronizer(
+        MarsitConfig(global_lr=0.01, seed=3, engine=engine, **config_kwargs),
+        num,
+        DIMENSION,
+    )
+    rng = np.random.default_rng(11)
+    updates = rng.standard_normal((num, DIMENSION))
+    sync.synchronize(cluster, updates, round_idx=1)
+    return obs, cluster
+
+
+class TestSpanTree:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_round_phase_hop_hierarchy(self, engine):
+        obs, _ = _trace_round(engine)
+        tracer = obs.tracer
+        assert tracer.open_depth() == 0
+        roots = tracer.roots()
+        assert [span.name for span in roots] == ["round"]
+        root = roots[0]
+        assert root.cat == "marsit"
+        assert root.args["engine"] == engine
+        phases = tracer.children_of(root.index)
+        assert [span.name for span in phases] == [
+            "reduce-scatter", "all-gather",
+        ]
+        for phase_span in phases:
+            hops = tracer.children_of(phase_span.index)
+            # A 4-ring runs M-1 = 3 hops in each of the two phases.
+            assert len(hops) == WORKERS - 1
+            assert all(span.name == "hop" for span in hops)
+            assert all(span.cat == "step" for span in hops)
+            # Hops tile their parent: each starts where the previous ended.
+            for earlier, later in zip(hops, hops[1:]):
+                assert earlier.end_s <= later.start_s
+
+    def test_hop_spans_carry_wire_args(self):
+        obs, cluster = _trace_round("batched")
+        hops = [span for span in obs.tracer.spans if span.name == "hop"]
+        assert sum(span.args["bytes"] for span in hops) == cluster.total_bytes
+        assert all(span.args["links"] == WORKERS for span in hops)
+        assert all(span.args["tag"] for span in hops)
+
+
+class TestExactTimeEquality:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_tracer_clock_equals_timeline_total(self, engine):
+        obs, cluster = _trace_round(engine)
+        assert obs.tracer.now == cluster.timeline.total
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_phase_totals_exactly_equal(self, engine):
+        obs, cluster = _trace_round(engine)
+        for phase in Phase:
+            assert (
+                obs.tracer.phase_totals[phase] == cluster.timeline.seconds[phase]
+            )
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_span_self_times_sum_to_timeline(self, engine):
+        obs, cluster = _trace_round(engine)
+        tracer = obs.tracer
+        for phase in Phase:
+            attributed = sum(
+                span.phase_self_s.get(phase.value, 0.0)
+                for span in tracer.spans
+            ) + tracer.unattributed.get(phase.value, 0.0)
+            # Exact: tracer and timeline accumulate the same floats in the
+            # same order, and each charge lands in exactly one span.
+            assert attributed == cluster.timeline.seconds[phase]
+
+    def test_root_duration_is_total_time(self):
+        obs, cluster = _trace_round("batched")
+        root = obs.tracer.roots()[0]
+        assert root.start_s == pytest.approx(0.0)
+        assert root.end_s == cluster.timeline.total
+        hops = [span for span in obs.tracer.spans if span.name == "hop"]
+        # Self-times are the raw charged increments: exactly the timeline.
+        assert (
+            sum(span.phase_self_s["communication"] for span in hops)
+            == cluster.timeline.seconds[Phase.COMMUNICATION]
+        )
+        # Durations are clock differences: equal up to float rounding.
+        assert sum(span.duration_s for span in hops) == pytest.approx(
+            cluster.timeline.seconds[Phase.COMMUNICATION], rel=1e-12
+        )
+
+
+class TestChromeExport:
+    def test_trace_json_is_valid_and_complete(self):
+        obs, cluster = _trace_round("batched")
+        document = json.loads(
+            json.dumps(chrome_trace(obs.tracer, obs.metrics))
+        )
+        events = document["traceEvents"]
+        for event in events:
+            assert event["ph"] in {"M", "X", "i"}
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert "round" in names
+        assert "reduce-scatter" in names
+        assert names.count("hop") == 2 * (WORKERS - 1)
+        totals = document["otherData"]["phase_totals_s"]
+        assert totals == cluster.timeline.breakdown()
+
+
+class TestEngineMetricIdentity:
+    def _metric_fingerprint(self, obs):
+        snapshot = obs.metrics.snapshot()
+        wire = {
+            name: entry
+            for name, entry in snapshot.items()
+            if name.startswith(("wire.", "marsit.", "cluster."))
+        }
+        return json.dumps(wire, sort_keys=True)
+
+    def test_scalar_and_batched_identical_traffic_metrics(self):
+        scalar_obs, scalar_cluster = _trace_round("scalar")
+        batched_obs, batched_cluster = _trace_round("batched")
+        assert self._metric_fingerprint(scalar_obs) == self._metric_fingerprint(
+            batched_obs
+        )
+        assert scalar_cluster.total_bytes == batched_cluster.total_bytes
+        assert scalar_cluster.total_messages == batched_cluster.total_messages
+
+    def test_identity_holds_on_torus_and_tree(self):
+        for topology_factory in (
+            lambda: torus_topology(2, 2),
+            lambda: tree_topology(WORKERS, arity=2),
+        ):
+            fingerprints = []
+            for engine in ("scalar", "batched"):
+                obs, _ = _trace_round(engine, topology=topology_factory())
+                fingerprints.append(self._metric_fingerprint(obs))
+            assert fingerprints[0] == fingerprints[1]
+
+    def test_algorithm_metrics_recorded(self):
+        obs, _ = _trace_round("batched")
+        metrics = obs.metrics
+        agreement = metrics.get("marsit.sign_agreement")
+        assert agreement is not None
+        assert 0.0 <= agreement.value <= 1.0
+        assert metrics.get("marsit.comp_norm").value >= 0.0
+        draws = metrics.total("marsit.transient_draws")
+        merged = metrics.total("marsit.merged_bits")
+        assert 0 < draws < merged
+        assert metrics.get("marsit.bits_per_element").value == pytest.approx(
+            1.0, rel=0.3
+        )
+
+    def test_full_precision_round_traced(self):
+        obs, cluster = _trace_round(
+            "batched", full_precision_every=1
+        )
+        root = obs.tracer.roots()[0]
+        assert root.args["full_precision"] is True
+        phases = obs.tracer.children_of(root.index)
+        assert [span.name for span in phases] == ["fp-allreduce"]
+        assert obs.tracer.now == cluster.timeline.total

@@ -1,0 +1,138 @@
+"""Unit tests for the simulated-time span tracer."""
+
+import pytest
+
+from repro.comm.timing import Phase
+from repro.obs import NullTracer, Observability, SimTracer
+from repro.obs.tracer import NULL_OBS
+
+
+class TestSimTracer:
+    def test_clock_starts_at_zero(self):
+        tracer = SimTracer()
+        assert tracer.now == 0.0
+        assert tracer.spans == []
+
+    def test_advance_moves_clock_and_phase_totals(self):
+        tracer = SimTracer()
+        tracer.advance(Phase.COMMUNICATION, 0.5)
+        tracer.advance(Phase.COMPRESSION, 0.25)
+        assert tracer.now == 0.75
+        assert tracer.phase_totals[Phase.COMMUNICATION] == 0.5
+        assert tracer.phase_totals[Phase.COMPRESSION] == 0.25
+
+    def test_unattributed_charges_outside_spans(self):
+        tracer = SimTracer()
+        tracer.advance(Phase.COMPUTATION, 1.0)
+        assert tracer.unattributed == {"computation": 1.0}
+
+    def test_span_nesting_and_depth(self):
+        tracer = SimTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.advance(Phase.COMMUNICATION, 1.0)
+        outer, inner = tracer.spans
+        assert outer.name == "outer" and outer.depth == 0
+        assert inner.name == "inner" and inner.depth == 1
+        assert inner.parent == outer.index
+        assert outer.parent == -1
+
+    def test_self_time_excludes_children(self):
+        tracer = SimTracer()
+        with tracer.span("outer"):
+            tracer.advance(Phase.COMPRESSION, 0.5)
+            with tracer.span("inner"):
+                tracer.advance(Phase.COMMUNICATION, 1.0)
+        outer, inner = tracer.spans
+        assert outer.phase_self_s == {"compression": 0.5}
+        assert inner.phase_self_s == {"communication": 1.0}
+        # Durations include children; self time does not.
+        assert outer.duration_s == 1.5
+        assert outer.self_time_s == 0.5
+        assert inner.duration_s == 1.0
+
+    def test_record_step_is_a_leaf_of_exact_width(self):
+        tracer = SimTracer()
+        with tracer.span("phase-span"):
+            record = tracer.record_step(
+                "hop", Phase.COMMUNICATION, 0.125, tag="rs:0", bytes=100
+            )
+        assert record.end_s is not None
+        assert record.duration_s == 0.125
+        assert record.args["tag"] == "rs:0"
+        assert record.args["bytes"] == 100
+        assert record.parent == 0
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(RuntimeError, match="no span open"):
+            SimTracer().end()
+
+    def test_open_span_duration_raises(self):
+        tracer = SimTracer()
+        tracer.begin("open")
+        with pytest.raises(ValueError, match="still open"):
+            _ = tracer.spans[0].duration_s
+
+    def test_instant_events(self):
+        tracer = SimTracer()
+        tracer.advance(Phase.COMPUTATION, 2.0)
+        tracer.instant("marker", round=3)
+        assert tracer.events == [
+            {"name": "marker", "ts_s": 2.0, "args": {"round": 3}}
+        ]
+
+    def test_roots_and_children(self):
+        tracer = SimTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["a"]
+        assert [s.name for s in tracer.children_of(0)] == ["b", "c"]
+
+    def test_phase_breakdown_names_match_phase_values(self):
+        tracer = SimTracer()
+        assert set(tracer.phase_breakdown()) == {p.value for p in Phase}
+
+
+class TestNullTracer:
+    def test_all_methods_are_noops(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.begin("x")
+        tracer.end()
+        tracer.advance(Phase.COMMUNICATION, 1.0)
+        tracer.record_step("hop", Phase.COMMUNICATION, 1.0)
+        tracer.instant("marker")
+        with tracer.span("y"):
+            pass
+
+    def test_span_returns_shared_context(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestObservability:
+    def test_default_is_disabled(self):
+        obs = Observability()
+        assert obs.enabled is False
+        assert obs.metrics is None
+
+    def test_null_obs_is_disabled_singleton(self):
+        assert NULL_OBS.enabled is False
+
+    def test_tracing_enables_both(self):
+        obs = Observability.tracing()
+        assert obs.enabled is True
+        assert obs.tracer.enabled is True
+        assert obs.metrics is not None
+
+    def test_metrics_only(self):
+        obs = Observability.metrics_only()
+        assert obs.enabled is True
+        assert obs.tracer.enabled is False
+        assert obs.metrics is not None
+
+    def test_disabled_classmethod(self):
+        assert Observability.disabled().enabled is False

@@ -1,0 +1,105 @@
+"""TrainResult serialization round-trip and schema-stability tests."""
+
+import dataclasses
+import json
+
+from repro.comm.timing import Phase
+from repro.train.metrics import RoundRecord, TrainResult
+
+
+def _sample_result() -> TrainResult:
+    result = TrainResult(
+        strategy_name="marsit",
+        final_accuracy=0.75,
+        total_sim_time_s=1.5,
+        total_comm_bytes=4096,
+        time_breakdown_s={phase.value: 0.5 for phase in Phase},
+        rounds_run=20,
+        diverged=False,
+        avg_bits_per_element=1.25,
+    )
+    for round_idx in (0, 10, 19):
+        result.history.append(
+            RoundRecord(
+                round_idx=round_idx,
+                sim_time_s=0.05 * (round_idx + 1),
+                comm_bytes=128 * (round_idx + 1),
+                train_loss=2.0 / (round_idx + 1),
+                test_accuracy=0.03 * round_idx,
+                test_loss=1.9 / (round_idx + 1),
+                bits_per_element=1.0,
+            )
+        )
+    return result
+
+
+class TestRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        original = _sample_result()
+        restored = TrainResult.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_json_round_trip(self, tmp_path):
+        original = _sample_result()
+        path = tmp_path / "run.json"
+        original.to_json(str(path))
+        restored = TrainResult.from_dict(json.loads(path.read_text()))
+        assert restored == original
+        assert restored.best_accuracy() == original.best_accuracy()
+
+    def test_from_dict_tolerates_minimal_document(self):
+        restored = TrainResult.from_dict({"strategy": "psgd"})
+        assert restored.strategy_name == "psgd"
+        assert restored.history == []
+        assert restored.avg_bits_per_element == 32.0
+
+
+class TestSchemaStability:
+    """Downstream tooling (the report CLI, experiment tracking) reads these
+    documents by key; renaming a field is a breaking change this test makes
+    deliberate."""
+
+    def test_top_level_keys(self):
+        assert set(_sample_result().to_dict()) == {
+            "strategy",
+            "final_accuracy",
+            "best_accuracy",
+            "rounds_run",
+            "diverged",
+            "total_sim_time_s",
+            "total_comm_bytes",
+            "avg_bits_per_element",
+            "time_breakdown_s",
+            "history",
+        }
+
+    def test_time_breakdown_keys_match_phase_values(self):
+        document = _sample_result().to_dict()
+        assert set(document["time_breakdown_s"]) == {p.value for p in Phase}
+
+    def test_history_record_keys(self):
+        record = _sample_result().to_dict()["history"][0]
+        assert set(record) == {
+            "round",
+            "sim_time_s",
+            "comm_bytes",
+            "train_loss",
+            "test_accuracy",
+            "test_loss",
+            "bits_per_element",
+        }
+
+    def test_round_record_fields(self):
+        assert [f.name for f in dataclasses.fields(RoundRecord)] == [
+            "round_idx",
+            "sim_time_s",
+            "comm_bytes",
+            "train_loss",
+            "test_accuracy",
+            "test_loss",
+            "bits_per_element",
+        ]
+
+    def test_to_json_is_plain_json(self):
+        text = _sample_result().to_json()
+        assert json.loads(text)["strategy"] == "marsit"
