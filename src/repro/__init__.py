@@ -66,7 +66,9 @@ def quick_train(
     Args:
         strategy: one of ``psgd``, ``signsgd``, ``ef-signsgd``, ``ssdm``,
             ``cascading``, ``marsit``, ``marsit-k`` (K = 25).
-        topology: ``ring`` or ``torus`` (torus requires a square M).
+        topology: any registered topology name (``ring``, ``torus``,
+            ``tree``, ``halving_doubling``, ...); torus requires a square M,
+            halving-doubling a power-of-two M.
         observability: optional :class:`repro.obs.Observability` attached to
             the cluster (span tracer and/or metrics registry).
         callbacks: optional sequence of :class:`repro.obs.TrainerCallback`.

@@ -42,9 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
             "marsit-k",
         ],
     )
+    from repro.allreduce import topology_names
+
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--rounds", type=int, default=100)
-    parser.add_argument("--topology", default="ring", choices=["ring", "torus"])
+    parser.add_argument(
+        "--topology", default="ring", choices=list(topology_names())
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--trace",

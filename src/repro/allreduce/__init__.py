@@ -1,4 +1,4 @@
-"""All-reduce algorithms over the simulated cluster.
+"""All-reduce algorithms over the simulated cluster, plus the topology registry.
 
 The generic ring schedule (:func:`ring_reduce_scatter` /
 :func:`ring_all_gather`) takes a pluggable per-hop ``combine`` so the same
@@ -11,49 +11,220 @@ code path drives
 - cascading compression (the Section 3.2 anti-pattern).
 
 Higher-level collectives: 2D-torus all-reduce, parameter-server emulation,
-tree all-reduce, segmented ring, and gossip averaging.
+tree all-reduce, segmented ring, recursive halving-doubling, and gossip
+averaging.
+
+The :class:`TopologyEntry` registry is the single place a topology plugs in
+its graph builder, its one-bit :class:`~repro.sched.plan.SyncPlan` compiler,
+and its full-precision collectives.  Everything downstream — Marsit's
+synchronizer, the training strategies, the trainer's cluster factory — looks
+topologies up here instead of switching on names.
 """
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.allreduce.cascading import cascading_ring_allreduce
 from repro.allreduce.gossip import gossip_average_round, gossip_mixing_matrix
-from repro.allreduce.ps import ps_allreduce
+from repro.allreduce.halving_doubling import (
+    compile_halving_doubling,
+    halving_doubling_allreduce_mean,
+    halving_doubling_allreduce_sum,
+)
+from repro.allreduce.ps import (
+    ps_allreduce,
+    star_allgather_scalars,
+    star_allreduce_mean,
+)
 from repro.allreduce.ring import (
     PackedLaneGrid,
     SizedPayload,
+    compile_ring,
     lockstep_ring_all_gather,
     lockstep_ring_reduce_scatter,
     parallel_ring_all_gather,
     parallel_ring_reduce_scatter,
     ring_all_gather,
+    ring_allgather_scalars,
     ring_allreduce_mean,
     ring_allreduce_sum,
     ring_reduce_scatter,
     signsum_ring_allreduce,
     split_segments,
 )
-from repro.allreduce.segmented import segmented_ring_allreduce
-from repro.allreduce.torus import torus_allreduce_mean, torus_allreduce_sum
-from repro.allreduce.tree import tree_allreduce
+from repro.allreduce.segmented import (
+    compile_segmented_ring,
+    segmented_ring_allreduce,
+)
+from repro.allreduce.torus import (
+    compile_torus,
+    signsum_torus_allreduce,
+    torus_allgather_scalars,
+    torus_allreduce_mean,
+    torus_allreduce_sum,
+)
+from repro.allreduce.tree import (
+    compile_tree,
+    tree_allreduce,
+    tree_allreduce_mean,
+)
+from repro.comm.topology import (
+    Topology,
+    halving_doubling_topology,
+    ring_topology,
+    star_topology,
+    torus_topology,
+    tree_topology,
+)
 
 __all__ = [
     "PackedLaneGrid",
     "SizedPayload",
+    "TopologyEntry",
     "cascading_ring_allreduce",
+    "compile_halving_doubling",
+    "compile_ring",
+    "compile_segmented_ring",
+    "compile_torus",
+    "compile_tree",
+    "get_topology",
     "gossip_average_round",
     "gossip_mixing_matrix",
+    "halving_doubling_allreduce_mean",
+    "halving_doubling_allreduce_sum",
     "lockstep_ring_all_gather",
     "lockstep_ring_reduce_scatter",
+    "one_bit_topology_names",
     "parallel_ring_all_gather",
     "parallel_ring_reduce_scatter",
     "ps_allreduce",
+    "register_topology",
     "ring_all_gather",
+    "ring_allgather_scalars",
     "ring_allreduce_mean",
     "ring_allreduce_sum",
     "ring_reduce_scatter",
     "segmented_ring_allreduce",
     "signsum_ring_allreduce",
     "split_segments",
+    "star_allgather_scalars",
+    "star_allreduce_mean",
+    "topology_names",
+    "torus_allgather_scalars",
     "torus_allreduce_mean",
     "torus_allreduce_sum",
     "tree_allreduce",
+    "tree_allreduce_mean",
 ]
+
+
+@dataclass(frozen=True)
+class TopologyEntry:
+    """Everything one topology family plugs into the framework.
+
+    Attributes:
+        name: registry key; also the :class:`Topology` family name.
+        build: ``build(num_workers, **kwargs) -> Topology`` graph factory.
+        compile_one_bit: SyncPlan compiler for the Marsit one-bit round, or
+            ``None`` if the topology has no one-bit schedule (e.g. star).
+        mean_allreduce: full-precision ``(cluster, vectors) -> vectors`` mean.
+        signsum_allreduce: integer sign-sum collective with bit expansion,
+            or ``None`` to fall back to the ring schedule.
+        allgather_scalars: ``(cluster, values) -> np.ndarray`` one-float
+            all-gather, or ``None`` to fall back to the ring walk.
+    """
+
+    name: str
+    build: Callable[..., Topology]
+    compile_one_bit: Callable | None = None
+    mean_allreduce: Callable | None = None
+    signsum_allreduce: Callable | None = None
+    allgather_scalars: Callable | None = None
+
+
+_REGISTRY: dict[str, TopologyEntry] = {}
+
+
+def register_topology(entry: TopologyEntry) -> TopologyEntry:
+    """Register (or replace) a topology family under ``entry.name``."""
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def topology_names() -> tuple[str, ...]:
+    """Sorted names of all registered topology families."""
+    return tuple(sorted(_REGISTRY))
+
+
+def one_bit_topology_names() -> tuple[str, ...]:
+    """Sorted names of topologies with a one-bit SyncPlan compiler."""
+    return tuple(
+        sorted(n for n, e in _REGISTRY.items() if e.compile_one_bit is not None)
+    )
+
+
+def get_topology(name: str) -> TopologyEntry:
+    """Look up a registered topology; error lists the registered names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; registered topologies: "
+            f"{', '.join(topology_names())}"
+        ) from None
+
+
+def _build_torus(num_workers: int, rows: int, cols: int) -> Topology:
+    if rows * cols != num_workers:
+        raise ValueError(
+            f"torus shape {rows}x{cols} does not cover {num_workers} workers"
+        )
+    return torus_topology(rows, cols)
+
+
+register_topology(
+    TopologyEntry(
+        name="ring",
+        build=ring_topology,
+        compile_one_bit=compile_ring,
+        mean_allreduce=ring_allreduce_mean,
+        signsum_allreduce=signsum_ring_allreduce,
+        allgather_scalars=ring_allgather_scalars,
+    )
+)
+register_topology(
+    TopologyEntry(
+        name="torus",
+        build=_build_torus,
+        compile_one_bit=compile_torus,
+        mean_allreduce=torus_allreduce_mean,
+        signsum_allreduce=signsum_torus_allreduce,
+        allgather_scalars=torus_allgather_scalars,
+    )
+)
+register_topology(
+    TopologyEntry(
+        name="star",
+        build=star_topology,
+        mean_allreduce=star_allreduce_mean,
+        allgather_scalars=star_allgather_scalars,
+    )
+)
+register_topology(
+    TopologyEntry(
+        name="tree",
+        build=tree_topology,
+        compile_one_bit=compile_tree,
+        mean_allreduce=tree_allreduce_mean,
+    )
+)
+register_topology(
+    TopologyEntry(
+        name="halving_doubling",
+        build=halving_doubling_topology,
+        compile_one_bit=compile_halving_doubling,
+        mean_allreduce=halving_doubling_allreduce_mean,
+    )
+)

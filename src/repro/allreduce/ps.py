@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.comm.cluster import Cluster
 
-__all__ = ["ps_allreduce"]
+__all__ = ["ps_allreduce", "star_allgather_scalars", "star_allreduce_mean"]
 
 Aggregate = Callable[[Sequence[Any]], Any]
 """Combine the per-worker payloads (server's own first) into one result."""
@@ -90,3 +92,33 @@ def ps_allreduce(
         else:
             results.append(cluster.recv(rank, server, tag="down"))
     return results
+
+
+def star_allreduce_mean(
+    cluster: Cluster, vectors: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Full-precision mean over the star: FP32 uploads, server mean."""
+    mean = ps_allreduce(
+        cluster,
+        [np.asarray(v, dtype=np.float32) for v in vectors],
+        aggregate=lambda xs: np.mean(xs, axis=0),
+    )
+    return [np.asarray(m, dtype=np.float64) for m in mean]
+
+
+def star_allgather_scalars(
+    cluster: Cluster, values: list[float]
+) -> np.ndarray:
+    """All-gather one float per worker through the parameter server."""
+    num = cluster.num_workers
+    gathered = ps_allreduce(
+        cluster,
+        [np.array([v], dtype=np.float32) for v in values],
+        aggregate=lambda xs: np.concatenate(xs),
+    )
+    # PS order: server's own first, then others; restore rank order.
+    server = cluster.topology.meta["server"]
+    order = [server] + [r for r in range(num) if r != server]
+    out = np.empty(num)
+    out[order] = gathered[0]
+    return out

@@ -31,15 +31,34 @@ from repro.comm.bits import (
 )
 from repro.comm.cluster import Cluster, SizedPayload
 from repro.comm.timing import Phase
+from repro.sched.plan import (
+    Barrier,
+    CompileContext,
+    Gather,
+    GridSpec,
+    Merge,
+    MergeSign,
+    Output,
+    Pack,
+    SendRecv,
+    Step,
+    SyncPlan,
+    Transfer,
+    plan_segment_lengths,
+)
 
 __all__ = [
     "PackedLaneGrid",
     "SizedPayload",
+    "compile_ring",
+    "cycle_gather_steps",
+    "cycle_reduce_steps",
     "lockstep_ring_all_gather",
     "lockstep_ring_reduce_scatter",
     "parallel_ring_all_gather",
     "parallel_ring_reduce_scatter",
     "ring_all_gather",
+    "ring_allgather_scalars",
     "ring_allreduce_mean",
     "ring_allreduce_sum",
     "ring_reduce_scatter",
@@ -461,6 +480,153 @@ def lockstep_ring_all_gather(
             ],
             tag=f"{tag}:{step}",
         )
+
+
+def cycle_reduce_steps(
+    grid: str,
+    num_cycles: int,
+    size: int,
+    base_weight: int,
+    segment_elems: int,
+    tag: str,
+) -> list[Step]:
+    """Compile the reduce-scatter phase of disjoint lockstep ring cycles.
+
+    The SyncPlan mirror of :func:`parallel_ring_reduce_scatter` under the
+    Marsit ``⊙`` combine: ``size - 1`` fused SendRecv/MergeSign hops, each a
+    single wave in cycle-major lane order (lane ``c * size + p``), preceded
+    by the phase barrier that pre-charges the first segment's sign pack.
+    Position ``p`` merges segment ``(p - 1 - step) % size`` from its ring
+    predecessor with weights ``(step + 1) * base_weight : base_weight``.
+    """
+    steps: list[Step] = [
+        Barrier(
+            kind="begin",
+            span="reduce-scatter",
+            tag=tag,
+            compress_elems=segment_elems,
+        )
+    ]
+    for step_idx in range(size - 1):
+        transfers = []
+        merges = []
+        for cycle in range(num_cycles):
+            base = cycle * size
+            for pos in range(size):
+                seg = (pos - 1 - step_idx) % size
+                transfers.append(
+                    Transfer(
+                        src_lane=base + (pos - 1) % size,
+                        dst_lane=base + pos,
+                        seg=seg,
+                    )
+                )
+                merges.append(
+                    Merge(
+                        dst_lane=base + pos,
+                        src_lane=base + (pos - 1) % size,
+                        seg=seg,
+                        received_weight=(step_idx + 1) * base_weight,
+                        local_weight=base_weight,
+                    )
+                )
+        steps.append(
+            SendRecv(grid=grid, tag=f"{tag}:{step_idx}", transfers=tuple(transfers))
+        )
+        steps.append(
+            MergeSign(
+                grid=grid,
+                waves=(tuple(merges),),
+                compress_elems=segment_elems,
+                rng_elems=segment_elems,
+                bitop_elems=segment_elems,
+            )
+        )
+    steps.append(Barrier(kind="end", span="reduce-scatter"))
+    return steps
+
+
+def cycle_gather_steps(
+    grid: str, num_cycles: int, size: int, tag: str
+) -> list[Step]:
+    """Compile the all-gather phase of disjoint lockstep ring cycles.
+
+    Mirrors :func:`parallel_ring_all_gather`'s ownership walk: at step ``s``
+    position ``p`` receives segment ``(p - s) % size`` from its predecessor.
+    """
+    steps: list[Step] = [Barrier(kind="begin", span="all-gather", tag=tag)]
+    for step_idx in range(size - 1):
+        transfers = []
+        for cycle in range(num_cycles):
+            base = cycle * size
+            for pos in range(size):
+                transfers.append(
+                    Transfer(
+                        src_lane=base + (pos - 1) % size,
+                        dst_lane=base + pos,
+                        seg=(pos - step_idx) % size,
+                    )
+                )
+        steps.append(
+            Gather(grid=grid, tag=f"{tag}:{step_idx}", transfers=tuple(transfers))
+        )
+    steps.append(Barrier(kind="end", span="all-gather"))
+    return steps
+
+
+def compile_ring(context: CompileContext) -> SyncPlan:
+    """Compile the one-bit RAR round (Figure 2's R and G periods).
+
+    With ``segment_elems`` set, delegates to the segmented-ring compiler
+    (paper ref [25]) — one independent ring pass per fixed-size chunk.
+    """
+    if context.segment_elems is not None:
+        from repro.allreduce.segmented import compile_segmented_ring
+
+        return compile_segmented_ring(context)
+    size = context.num_workers
+    dimension = context.dimension
+    seg_elems = max(plan_segment_lengths(dimension, size), default=0)
+    steps: list[Step] = [Pack(grid="ring", start=0, stop=dimension)]
+    steps += cycle_reduce_steps("ring", 1, size, 1, seg_elems, "m-rs")
+    steps += cycle_gather_steps("ring", 1, size, "m-ag")
+    return SyncPlan(
+        kind="one_bit",
+        topology="ring",
+        num_workers=size,
+        dimension=dimension,
+        grids=(
+            GridSpec(
+                name="ring", lane_ranks=tuple(range(size)), num_segments=size
+            ),
+        ),
+        steps=tuple(steps),
+        outputs=(Output(grid="ring", where="gather phase"),),
+    )
+
+
+def ring_allgather_scalars(cluster: Cluster, values: list[float]) -> np.ndarray:
+    """All-gather one scalar per worker around the ring (``M - 1`` steps)."""
+    num = cluster.num_workers
+    if len(values) != num:
+        raise ValueError(f"expected {num} scalars, got {len(values)}")
+    if num == 1:
+        return np.array(values, dtype=np.float64)
+    known = [{rank: np.float64(values[rank])} for rank in range(num)]
+    for step in range(num - 1):
+        cluster.begin_step()
+        for rank in range(num):
+            origin = (rank - step) % num
+            cluster.send(
+                rank, (rank + 1) % num, float(known[rank][origin]), tag="scal"
+            )
+        for rank in range(num):
+            origin = (rank - 1 - step) % num
+            known[rank][origin] = cluster.recv(
+                rank, (rank - 1) % num, tag="scal"
+            )
+        cluster.end_step()
+    return np.array([known[0][rank] for rank in range(num)])
 
 
 def ring_reduce_scatter(

@@ -24,13 +24,27 @@ from repro.comm.bits import signed_int_bit_width
 from repro.comm.cluster import Cluster, SizedPayload
 from repro.comm.timing import Phase
 from repro.allreduce.ring import (
+    cycle_gather_steps,
+    cycle_reduce_steps,
     parallel_ring_all_gather,
     parallel_ring_reduce_scatter,
     split_segments,
 )
+from repro.sched.plan import (
+    CompileContext,
+    GridSpec,
+    Output,
+    Pack,
+    Restack,
+    Step,
+    SyncPlan,
+    Unstack,
+    plan_segment_lengths,
+)
 
 __all__ = [
     "col_cycles",
+    "compile_torus",
     "row_cycles",
     "signsum_torus_allreduce",
     "torus_allgather_scalars",
@@ -38,6 +52,84 @@ __all__ = [
     "torus_allreduce_sum",
     "torus_rows_cols",
 ]
+
+
+def compile_torus(context: CompileContext) -> SyncPlan:
+    """Compile the one-bit TAR round: row reduce, column all-reduce, gathers.
+
+    Row-phase lanes are ranks in row-major order (the row-cycle flatten);
+    the column phase restacks each rank's owned row segment into a second
+    grid in column-cycle order — mirroring the hand-written schedules'
+    ``split(rows)`` so per-rank RNG streams line up exactly.  The column
+    merges carry ``base_weight=cols`` because every merged vector already
+    represents a whole row (the weighted generalization of Eq. 2).
+    """
+    rows, cols = context.meta["rows"], context.meta["cols"]
+    num = rows * cols
+    if num != context.num_workers:
+        raise ValueError("torus shape does not match worker count")
+    dimension = context.dimension
+    row_lens = plan_segment_lengths(dimension, cols) if cols > 1 else [dimension]
+
+    def owned_of(rank: int) -> int:
+        return (rank % cols + 1) % cols if cols > 1 else 0
+
+    grids = [
+        GridSpec(
+            name="torus-rows",
+            lane_ranks=tuple(range(num)),
+            num_segments=cols if cols > 1 else 1,
+        )
+    ]
+    steps: list[Step] = [Pack(grid="torus-rows", start=0, stop=dimension)]
+    if cols > 1:
+        steps += cycle_reduce_steps(
+            "torus-rows", rows, cols, 1, max(row_lens), "m-row-rs"
+        )
+    if rows > 1:
+        col_ranks = [
+            rank for ranks in col_cycles(rows, cols) for rank in ranks
+        ]
+        grids.append(
+            GridSpec(
+                name="torus-cols",
+                lane_ranks=tuple(col_ranks),
+                num_segments=rows,
+            )
+        )
+        steps.append(
+            Restack(
+                grid="torus-cols",
+                src_grid="torus-rows",
+                sources=tuple((rank, owned_of(rank)) for rank in col_ranks),
+                parts=rows,
+            )
+        )
+        col_seg_elems = max(
+            plan_segment_lengths(row_lens[owned_of(0)], rows), default=0
+        )
+        steps += cycle_reduce_steps(
+            "torus-cols", cols, rows, cols, col_seg_elems, "m-col-rs"
+        )
+        steps += cycle_gather_steps("torus-cols", cols, rows, "m-col-ag")
+        steps.append(
+            Unstack(
+                grid="torus-rows",
+                src_grid="torus-cols",
+                targets=tuple((rank, owned_of(rank)) for rank in col_ranks),
+            )
+        )
+    if cols > 1:
+        steps += cycle_gather_steps("torus-rows", rows, cols, "m-row-ag")
+    return SyncPlan(
+        kind="one_bit",
+        topology="torus",
+        num_workers=num,
+        dimension=dimension,
+        grids=tuple(grids),
+        steps=tuple(steps),
+        outputs=(Output(grid="torus-rows", where="torus gather"),),
+    )
 
 
 def torus_rows_cols(cluster: Cluster) -> tuple[int, int]:

@@ -12,8 +12,22 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.comm.cluster import Cluster
+from repro.sched.plan import (
+    Barrier,
+    CompileContext,
+    Gather,
+    GridSpec,
+    Merge,
+    MergeSign,
+    Output,
+    Pack,
+    SendRecv,
+    Step,
+    SyncPlan,
+    Transfer,
+)
 
-__all__ = ["tree_allreduce"]
+__all__ = ["compile_tree", "tree_allreduce", "tree_allreduce_mean"]
 
 
 def _levels(num_workers: int, arity: int) -> list[list[int]]:
@@ -83,3 +97,100 @@ def tree_allreduce(
             final[rank] = cluster.recv(rank, (rank - 1) // arity, tag="bcast")
         cluster.end_step()
     return [np.asarray(value, dtype=np.float64) for value in final]
+
+
+def tree_allreduce_mean(
+    cluster: Cluster, vectors: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Tree all-reduce of the FP32-wire mean (root divides, then broadcasts)."""
+    num = cluster.num_workers
+    wire = [np.asarray(vector, dtype=np.float32) for vector in vectors]
+    return tree_allreduce(cluster, wire, finalize=lambda x: x / num)
+
+
+def compile_tree(context: CompileContext) -> SyncPlan:
+    """Compile the one-bit tree round: weighted merges up, broadcast down.
+
+    Each level's child-into-parent merges are grouped into waves by sibling
+    index ``(rank - 1) % arity``: a wave touches each parent at most once,
+    and per parent the waves run children in ascending rank order — so both
+    executors consume every parent generator's stream in the same order,
+    with the same running subtree weights (computed here, at compile time).
+    """
+    arity, root = context.meta["arity"], context.meta["root"]
+    num = context.num_workers
+    dimension = context.dimension
+    levels = _levels(num, arity)
+    weight = [1] * num
+    steps: list[Step] = [
+        Pack(grid="tree", start=0, stop=dimension),
+        Barrier(
+            kind="begin",
+            span="reduce-scatter",
+            tag="m-tree-up",
+            compress_elems=dimension,
+        ),
+    ]
+    for level in reversed(levels[1:]):
+        transfers = tuple(
+            Transfer(src_lane=rank, dst_lane=(rank - 1) // arity, seg=0)
+            for rank in level
+        )
+        waves = []
+        for sibling in range(arity):
+            wave = []
+            for rank in level:
+                if (rank - 1) % arity != sibling:
+                    continue
+                parent = (rank - 1) // arity
+                wave.append(
+                    Merge(
+                        dst_lane=parent,
+                        src_lane=rank,
+                        seg=0,
+                        received_weight=weight[rank],
+                        local_weight=weight[parent],
+                    )
+                )
+                weight[parent] += weight[rank]
+            if wave:
+                waves.append(tuple(wave))
+        steps.append(SendRecv(grid="tree", tag="m-tree-up", transfers=transfers))
+        steps.append(
+            MergeSign(
+                grid="tree",
+                waves=tuple(waves),
+                compress_elems=None,
+                rng_elems=dimension,
+                bitop_elems=dimension,
+            )
+        )
+    if weight[root] != num:
+        raise AssertionError("tree reduce missed workers")
+    steps.append(Barrier(kind="end", span="reduce-scatter"))
+    steps.append(Barrier(kind="begin", span="all-gather", tag="m-tree-down"))
+    for level in levels[1:]:
+        steps.append(
+            Gather(
+                grid="tree",
+                tag="m-tree-down",
+                transfers=tuple(
+                    Transfer(
+                        src_lane=(rank - 1) // arity, dst_lane=rank, seg=0
+                    )
+                    for rank in level
+                ),
+            )
+        )
+    steps.append(Barrier(kind="end", span="all-gather"))
+    return SyncPlan(
+        kind="one_bit",
+        topology="tree",
+        num_workers=num,
+        dimension=dimension,
+        grids=(
+            GridSpec(name="tree", lane_ranks=tuple(range(num)), num_segments=1),
+        ),
+        steps=tuple(steps),
+        outputs=(Output(grid="tree", where="tree broadcast"),),
+    )

@@ -15,6 +15,7 @@ import networkx as nx
 __all__ = [
     "Topology",
     "fully_connected_topology",
+    "halving_doubling_topology",
     "ring_topology",
     "star_topology",
     "torus_topology",
@@ -151,6 +152,30 @@ def tree_topology(num_workers: int, arity: int = 2) -> Topology:
         graph.add_edge(rank, parent, role="up")
         graph.add_edge(parent, rank, role="down")
     return Topology(graph=graph, name="tree", meta={"arity": arity, "root": 0})
+
+
+def halving_doubling_topology(num_workers: int) -> Topology:
+    """Hypercube links for recursive halving-doubling: ``r <-> r ^ 2^s``.
+
+    Requires a power-of-two worker count; ``meta["order"]`` records the
+    hypercube dimension ``log2(M)``.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if num_workers & (num_workers - 1):
+        raise ValueError(
+            "halving-doubling requires a power-of-two worker count, "
+            f"got {num_workers}"
+        )
+    order = num_workers.bit_length() - 1
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_workers))
+    for rank in range(num_workers):
+        for step in range(order):
+            graph.add_edge(rank, rank ^ (1 << step), bit=step)
+    return Topology(
+        graph=graph, name="halving_doubling", meta={"order": order}
+    )
 
 
 def fully_connected_topology(num_workers: int) -> Topology:

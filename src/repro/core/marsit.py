@@ -5,52 +5,33 @@ gradient, possibly momentum/Adam-transformed) and a compensation vector
 ``c_t^(m)``.  The synchronizer:
 
 1. forms the compensated update ``g <- g_t^(m) + c_t^(m)`` (line 1);
-2. on a **one-bit round** (``t mod K != 0``): splits ``g`` into segments,
-   runs the multi-hop reduce where every hop applies the ``⊙`` merge of
-   :mod:`repro.core.sign_ops` to sign-bit segments (lines 4-8), gathers the
-   consensus bit vector, and returns ``g_t = eta_s * signs`` (line 9);
-   compensation becomes ``c <- g - g_t`` (line 10);
+2. on a **one-bit round** (``t mod K != 0``): compiles the cluster topology
+   to a :class:`~repro.sched.plan.SyncPlan` (once, cached) and hands it to
+   the configured executor, which runs the multi-hop reduce where every hop
+   applies the ``⊙`` merge of :mod:`repro.core.sign_ops` to sign-bit
+   segments (lines 4-8), gathers the consensus bit vector, and returns
+   ``g_t = eta_s * signs`` (line 9); compensation becomes ``c <- g - g_t``
+   (line 10);
 3. on a **full-precision round** (``t mod K == 0``): all-reduces ``g`` in
    FP32 and resets ``c <- 0`` (lines 12-13).
 
-Timing model for the one-bit path (Section 4.1.1's parallelism claim): the
-local sign extraction and the Bernoulli transient draw for the *next* segment
-run concurrently with the current reception, so only their excess over the
-transfer time hits the critical path; the post-receive bit merge is charged
-fully (it needs the received bits) but runs at bit-op throughput.
+The topology knowledge lives in the per-topology compilers registered in
+:mod:`repro.allreduce`; the hop semantics, RNG streams, metrics, and the
+Section 4.1.1 overlap charges live in the two :mod:`repro.sched` executors.
+This module only owns the algorithm state (compensation, RNGs, LR schedule)
+and the plan cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
-from repro.allreduce.ring import (
-    PackedLaneGrid,
-    lockstep_ring_all_gather,
-    lockstep_ring_reduce_scatter,
-    parallel_ring_all_gather,
-    parallel_ring_reduce_scatter,
-    ring_allreduce_mean,
-    split_segments,
-)
-from repro.allreduce.torus import (
-    col_cycles,
-    row_cycles,
-    torus_allreduce_mean,
-    torus_rows_cols,
-)
-from repro.comm.bits import PackedBits, PackedBitsBatch
 from repro.comm.cluster import Cluster
-from repro.comm.timing import Phase
-from repro.core.sign_ops import (
-    merge_sign_bits_batch,
-    merge_sign_bits_packed,
-    transient_vector_batch,
-    transient_vector_packed,
-)
+from repro.sched import executor_names, get_executor
+from repro.sched.plan import CompileContext, SyncPlan, full_precision_plan
 
 __all__ = ["MarsitConfig", "MarsitState", "MarsitSynchronizer", "SyncReport"]
 
@@ -77,11 +58,12 @@ class MarsitConfig:
             into fixed-size pipeline segments, each synchronized by its own
             ring pass — Section 5's "easily extended to segmented-ring
             all-reduce".
-        engine: ``"batched"`` (default) runs the lane-stacked lockstep
-            path — every synchronous step's merges and transfers execute as
-            one numpy op over all (cycle, position) lanes; ``"scalar"`` keeps
-            the per-message reference path.  Both consume identical per-rank
-            RNG streams, so results are bit-for-bit equal.
+        engine: which :mod:`repro.sched` executor interprets the plan.
+            ``"batched"`` (default) runs the lane-stacked lockstep path —
+            every synchronous step's merges and transfers execute as one
+            numpy op over all lanes; ``"scalar"`` keeps the per-message
+            reference path.  Both consume identical per-rank RNG streams, so
+            results are bit-for-bit equal.
         verify_consensus: assert after every one-bit round that all workers
             hold identical bits.  The check costs O(M * D) per round, so
             benchmarks turn it off.
@@ -103,9 +85,22 @@ class MarsitConfig:
             raise ValueError("full_precision_every must be >= 1 or None")
         if self.segment_elems is not None and self.segment_elems < 1:
             raise ValueError("segment_elems must be >= 1 or None")
-        if self.engine not in ("batched", "scalar"):
+        if self.engine not in executor_names():
             raise ValueError(
-                f"engine must be 'batched' or 'scalar', got {self.engine!r}"
+                f"engine must be one of {', '.join(executor_names())}, "
+                f"got {self.engine!r}"
+            )
+
+    def validate_topology(self, name: str) -> None:
+        """Check ``name`` names a registered topology with a one-bit compiler."""
+        from repro.allreduce import get_topology, one_bit_topology_names
+
+        entry = get_topology(name)
+        if entry.compile_one_bit is None:
+            raise ValueError(
+                "Marsit one-bit sync requires a topology with a SyncPlan "
+                f"compiler ({', '.join(one_bit_topology_names())}), "
+                f"got {name!r}"
             )
 
     def is_full_precision_round(self, round_idx: int) -> bool:
@@ -152,15 +147,18 @@ class SyncReport:
     full_precision: bool
     bits_per_element: float
     global_updates: list[np.ndarray] = field(repr=False)
+    plan_digest: str | None = None
+    num_plan_steps: int = 0
 
 
 class MarsitSynchronizer:
-    """Drives Algorithm 1 over ring (RAR) or 2D-torus (TAR) clusters.
+    """Drives Algorithm 1 over any registered topology with a plan compiler.
 
     The synchronizer owns the compensation state and one RNG per worker (the
     transient vector is drawn by the *receiving* worker, so randomness is
     local — no shared seed is needed for consensus because the merged bits
-    themselves travel the ring).
+    themselves travel the ring).  Topologies are compiled to
+    :class:`~repro.sched.plan.SyncPlan` once per (kind, topology) and cached.
     """
 
     def __init__(
@@ -179,6 +177,7 @@ class MarsitSynchronizer:
         self.state = MarsitState.zeros(num_workers, dimension)
         seeds = np.random.SeedSequence(config.seed).spawn(num_workers)
         self.rngs = [np.random.default_rng(seed) for seed in seeds]
+        self._plans: dict[tuple, tuple[SyncPlan, str]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -192,7 +191,8 @@ class MarsitSynchronizer:
         """Run Algorithm 1 for one round.
 
         Args:
-            cluster: ring or torus cluster with ``num_workers`` workers.
+            cluster: cluster with ``num_workers`` workers over a registered
+                topology.
             updates: per-worker ``g_t^(m)`` (local LR already applied).
             round_idx: the synchronization index ``t``.
 
@@ -226,7 +226,9 @@ class MarsitSynchronizer:
             full_precision=full_precision,
         ):
             if full_precision:
-                global_updates = self._full_precision_sync(cluster, compensated)
+                global_updates, plan_digest, num_plan_steps = (
+                    self._full_precision_sync(cluster, compensated)
+                )
                 self.state.compensation = np.zeros(
                     (self.num_workers, self.dimension)
                 )
@@ -235,9 +237,13 @@ class MarsitSynchronizer:
                     full_precision=True,
                     bits_per_element=32.0,
                     global_updates=global_updates,
+                    plan_digest=plan_digest,
+                    num_plan_steps=num_plan_steps,
                 )
             else:
-                consensus_signs = self._one_bit_sync(cluster, compensated)
+                consensus_signs, plan_digest, num_plan_steps = (
+                    self._one_bit_sync(cluster, compensated)
+                )
                 eta_s = self.config.effective_global_lr(round_idx)
                 global_update = eta_s * consensus_signs
                 if self.config.use_compensation:
@@ -253,6 +259,8 @@ class MarsitSynchronizer:
                     global_updates=[
                         global_update.copy() for _ in range(self.num_workers)
                     ],
+                    plan_digest=plan_digest,
+                    num_plan_steps=num_plan_steps,
                 )
         metrics = obs.metrics
         if metrics is not None:
@@ -270,634 +278,74 @@ class MarsitSynchronizer:
         return report
 
     # ------------------------------------------------------------------
+    # plan cache
+    # ------------------------------------------------------------------
+    def _plan_for(self, cluster: Cluster, kind: str) -> tuple[SyncPlan, str]:
+        """Compile (or fetch) the plan for ``cluster``'s topology."""
+        topology = cluster.topology
+        meta_items = tuple(sorted(topology.meta.items()))
+        key = (kind, topology.name, meta_items, self.config.segment_elems)
+        cached = self._plans.get(key)
+        if cached is not None:
+            return cached
+        if kind == "full_precision":
+            plan = full_precision_plan(
+                topology.name, self.num_workers, self.dimension
+            )
+        else:
+            from repro.allreduce import get_topology
+
+            self.config.validate_topology(topology.name)
+            compiler = get_topology(topology.name).compile_one_bit
+            plan = compiler(
+                CompileContext(
+                    num_workers=self.num_workers,
+                    dimension=self.dimension,
+                    meta=dict(topology.meta),
+                    segment_elems=self.config.segment_elems,
+                )
+            )
+        plan.validate()
+        cached = (plan, plan.digest())
+        self._plans[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # one-bit path
     # ------------------------------------------------------------------
     def _one_bit_sync(
         self, cluster: Cluster, vectors: np.ndarray
-    ) -> np.ndarray:
-        """Multi-hop sign aggregation; returns the consensus ``{-1,+1}``.
+    ) -> tuple[np.ndarray, str | None, int]:
+        """Plan-driven sign aggregation; returns the consensus ``{-1,+1}``.
 
         ``vectors`` is the stacked ``(M, D)`` compensated-update matrix; the
         scalar engine indexes its rows, the batched engine consumes it whole.
         """
         if self.num_workers == 1:
             bits = (vectors[0] >= 0).astype(np.uint8)
-            return bits.astype(np.float64) * 2.0 - 1.0
-        batched = self.config.engine == "batched"
-        if cluster.topology.name == "ring":
-            if self.config.segment_elems is not None:
-                runner = (
-                    self._one_bit_segmented_ring_batched
-                    if batched
-                    else self._one_bit_segmented_ring
-                )
-            else:
-                runner = (
-                    self._one_bit_ring_batched if batched else self._one_bit_ring
-                )
-        elif cluster.topology.name == "torus":
-            runner = (
-                self._one_bit_torus_batched if batched else self._one_bit_torus
-            )
-        elif cluster.topology.name == "tree":
-            runner = (
-                self._one_bit_tree_batched if batched else self._one_bit_tree
-            )
-        else:
-            raise ValueError(
-                f"Marsit one-bit sync supports ring/torus/tree topologies, "
-                f"got {cluster.topology.name!r}"
-            )
-        final = runner(cluster, vectors)
+            return bits.astype(np.float64) * 2.0 - 1.0, None, 0
+        plan, digest = self._plan_for(cluster, "one_bit")
+        executor = get_executor(self.config.engine)
+        final = executor.run_one_bit(
+            plan,
+            cluster,
+            vectors,
+            self.rngs,
+            verify_consensus=self.config.verify_consensus,
+        )
         # The single unpack of the whole pipeline: words -> {-1, +1} floats.
-        return final.to_signs()
-
-    def _sign_segments(
-        self, vector: np.ndarray, num_segments: int
-    ) -> list[PackedBits]:
-        """Split and pack ``sgn`` (+1-at-zero) once, at compression time."""
-        return [
-            PackedBits.from_signs(seg)
-            for seg in split_segments(vector, num_segments, copy=False)
-        ]
-
-    def _reduce_cycles(
-        self,
-        cluster: Cluster,
-        cycles: Sequence[Sequence[int]],
-        bit_segments: Sequence[list[list[PackedBits]]],
-        base_weight: int,
-        tag: str,
-    ) -> None:
-        """One-bit reduce-scatter over disjoint ring cycles in lockstep.
-
-        ``bit_segments[c][p][i]`` are :class:`PackedBits`; each position's
-        vector already aggregates ``base_weight`` workers (1 on RAR; a full
-        row on TAR's column phase).  The schedule itself is
-        :func:`parallel_ring_reduce_scatter`; this wrapper supplies the
-        packed ``⊙`` combine (the receiving rank selects the RNG stream) and
-        the Section 4.1.1 overlap charges.  Mutates in place; ownership ends
-        at the standard reduce layout (``(p + 1) % size``).
-        """
-        if not cycles:
-            return
-        model = cluster.cost_model
-        metrics = cluster.obs.metrics
-        segment_elems = max(
-            (len(seg) for seg in bit_segments[0][0]), default=0
-        )
-
-        def combine(
-            received: PackedBits, local: PackedBits, step: int, rank: int
-        ) -> PackedBits:
-            transient = transient_vector_packed(
-                local,
-                received_weight=(step + 1) * base_weight,
-                local_weight=base_weight,
-                rng=self.rngs[rank],
-            )
-            if metrics is not None:
-                # Disagreeing coordinates are exactly the ones the transient
-                # vector decides (the ⊙ merge keeps agreements verbatim).
-                metrics.counter("marsit.transient_draws").inc(
-                    (received ^ local).popcount()
-                )
-                metrics.counter("marsit.merged_bits").inc(len(local))
-            return merge_sign_bits_packed(received, local, transient)
-
-        def charge_hop(step: int, transfer: float) -> None:
-            # Sign extraction + transient draw for the next hop overlap the
-            # transfer (Section 4.1.1); only the excess is critical path.
-            overlapped = model.compress_time(segment_elems) + model.rng_time(
-                segment_elems
-            )
-            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
-            # The merge itself needs the received bits: charged in full.
-            cluster.charge(Phase.COMPRESSION, model.bitop_time(segment_elems))
-
-        with cluster.obs.tracer.span("reduce-scatter", cat="phase", tag=tag):
-            # The first outgoing segment's signs must exist before step 0.
-            cluster.charge(
-                Phase.COMPRESSION, model.compress_time(segment_elems)
-            )
-            parallel_ring_reduce_scatter(
-                cluster,
-                cycles,
-                bit_segments,
-                combine,
-                tag=tag,
-                on_step_end=charge_hop,
-            )
-
-    def _gather_cycles(
-        self,
-        cluster: Cluster,
-        cycles: Sequence[Sequence[int]],
-        bit_segments: Sequence[list[list[PackedBits]]],
-        tag: str,
-    ) -> None:
-        """All-gather of owned packed segments over cycles in lockstep."""
-        with cluster.obs.tracer.span("all-gather", cat="phase", tag=tag):
-            parallel_ring_all_gather(cluster, cycles, bit_segments, tag=tag)
-
-    def _one_bit_ring(
-        self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> PackedBits:
-        """RAR one-bit sync (Figure 2's R and G periods)."""
-        size = self.num_workers
-        ranks = list(range(size))
-        bit_segments = [
-            self._sign_segments(vec, size) for vec in vectors
-        ]
-        self._reduce_cycles(
-            cluster, [ranks], [bit_segments], base_weight=1, tag="m-rs"
-        )
-        self._gather_cycles(cluster, [ranks], [bit_segments], tag="m-ag")
-        final = PackedBits.concat(bit_segments[0])
-        if self.config.verify_consensus:
-            for pos in range(1, size):
-                other = PackedBits.concat(bit_segments[pos])
-                if not final.equals(other):
-                    raise AssertionError("consensus violated after gather phase")
-        return final
-
-    def _one_bit_torus(
-        self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> PackedBits:
-        """TAR one-bit sync: row reduce, column all-reduce, then gathers.
-
-        The column phase merges vectors that each already represent a whole
-        row of ``cols`` workers, so its transient weights scale by ``cols``
-        — the weighted generalization of Eq. (2).  All rows (and then all
-        columns) advance in lockstep, matching TAR's latency profile.
-        """
-        rows, cols = torus_rows_cols(cluster)
-        row_rank_lists = row_cycles(rows, cols)
-        col_rank_lists = col_cycles(rows, cols)
-
-        # Row phase: reduce-scatter sign bits within every row, in lockstep.
-        row_segments: dict[int, list[PackedBits]] = {}
-        owned_idx: dict[int, int] = {}
-        if cols > 1:
-            all_segments = [
-                [self._sign_segments(vectors[rank], cols) for rank in ranks]
-                for ranks in row_rank_lists
-            ]
-            self._reduce_cycles(
-                cluster, row_rank_lists, all_segments, base_weight=1, tag="m-row-rs"
-            )
-            for cycle_idx, ranks in enumerate(row_rank_lists):
-                for pos, rank in enumerate(ranks):
-                    row_segments[rank] = all_segments[cycle_idx][pos]
-                    owned_idx[rank] = (pos + 1) % cols
-        else:
-            for rank in range(self.num_workers):
-                row_segments[rank] = [PackedBits.from_signs(vectors[rank])]
-                owned_idx[rank] = 0
-
-        # Column phase: one-bit all-reduce of every owned chunk, in lockstep.
-        if rows > 1:
-            chunk_segments = [
-                [
-                    row_segments[rank][owned_idx[rank]].split(rows)
-                    for rank in ranks
-                ]
-                for ranks in col_rank_lists
-            ]
-            self._reduce_cycles(
-                cluster,
-                col_rank_lists,
-                chunk_segments,
-                base_weight=cols,
-                tag="m-col-rs",
-            )
-            self._gather_cycles(cluster, col_rank_lists, chunk_segments, tag="m-col-ag")
-            for cycle_idx, ranks in enumerate(col_rank_lists):
-                for pos, rank in enumerate(ranks):
-                    row_segments[rank][owned_idx[rank]] = PackedBits.concat(
-                        chunk_segments[cycle_idx][pos]
-                    )
-
-        # Row gather: circulate the now fully reduced owned segments.
-        if cols > 1:
-            all_segments = [
-                [row_segments[rank] for rank in ranks] for ranks in row_rank_lists
-            ]
-            self._gather_cycles(cluster, row_rank_lists, all_segments, tag="m-row-ag")
-
-        final = PackedBits.concat(row_segments[0])
-        if self.config.verify_consensus:
-            for rank in range(1, self.num_workers):
-                other = PackedBits.concat(row_segments[rank])
-                if not final.equals(other):
-                    raise AssertionError("consensus violated after torus gather")
-        return final
-
-    def _one_bit_segmented_ring(
-        self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> PackedBits:
-        """Segmented-ring variant: independent one-bit ring passes per chunk.
-
-        Each fixed-size chunk of the vector runs its own reduce+gather, so a
-        real implementation could pipeline chunks; traffic volume matches
-        the plain ring.
-        """
-        segment_elems = self.config.segment_elems
-        size = self.num_workers
-        ranks = list(range(size))
-        dimension = vectors[0].size
-        pieces: list[PackedBits] = []
-        for start in range(0, dimension, segment_elems):
-            stop = min(start + segment_elems, dimension)
-            chunk_segments = [
-                self._sign_segments(vec[start:stop], size) for vec in vectors
-            ]
-            self._reduce_cycles(
-                cluster, [ranks], [chunk_segments], base_weight=1,
-                tag=f"m-seg{start}-rs",
-            )
-            self._gather_cycles(
-                cluster, [ranks], [chunk_segments], tag=f"m-seg{start}-ag"
-            )
-            pieces.append(PackedBits.concat(chunk_segments[0]))
-            if self.config.verify_consensus:
-                for pos in range(1, size):
-                    if not pieces[-1].equals(
-                        PackedBits.concat(chunk_segments[pos])
-                    ):
-                        raise AssertionError("segmented-ring consensus violated")
-        return PackedBits.concat(pieces)
-
-    def _one_bit_tree(
-        self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> PackedBits:
-        """Tree variant: weighted ``⊙`` merges up the tree, broadcast down.
-
-        A parent folds each child's bit vector (representing that child's
-        whole subtree) into its own accumulated bits with transient weights
-        (subtree size vs accumulated size) — the same weighted merge the
-        torus column phase uses — so the root's bits remain an unbiased
-        sample of the global mean sign.
-        """
-        meta = cluster.topology.meta
-        arity, root = meta["arity"], meta["root"]
-        num = self.num_workers
-        depth_of = [0] * num
-        for rank in range(1, num):
-            depth_of[rank] = depth_of[(rank - 1) // arity] + 1
-        max_depth = max(depth_of)
-        levels: list[list[int]] = [[] for _ in range(max_depth + 1)]
-        for rank, depth in enumerate(depth_of):
-            levels[depth].append(rank)
-
-        model = cluster.cost_model
-        metrics = cluster.obs.metrics
-        tracer = cluster.obs.tracer
-        bits = [PackedBits.from_signs(vec) for vec in vectors]
-        weight = [1] * num
-        dimension = vectors[0].size
-
-        # Reduce: deepest level first; each level is one synchronous step.
-        with tracer.span("reduce-scatter", cat="phase", tag="m-tree-up"):
-            cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
-            for level in reversed(levels[1:]):
-                cluster.begin_step()
-                for rank in level:
-                    cluster.send(
-                        rank, (rank - 1) // arity, bits[rank], tag="m-tree-up"
-                    )
-                for rank in level:
-                    parent = (rank - 1) // arity
-                    received: PackedBits = cluster.recv(
-                        parent, rank, tag="m-tree-up"
-                    )
-                    transient = transient_vector_packed(
-                        bits[parent],
-                        received_weight=weight[rank],
-                        local_weight=weight[parent],
-                        rng=self.rngs[parent],
-                    )
-                    if metrics is not None:
-                        metrics.counter("marsit.transient_draws").inc(
-                            (received ^ bits[parent]).popcount()
-                        )
-                        metrics.counter("marsit.merged_bits").inc(
-                            len(bits[parent])
-                        )
-                    # Merge child (received) into parent (local).
-                    bits[parent] = merge_sign_bits_packed(
-                        received, bits[parent], transient
-                    )
-                    weight[parent] += weight[rank]
-                transfer = cluster.end_step(tag="m-tree-up")
-                overlapped = model.rng_time(dimension)
-                cluster.charge(
-                    Phase.COMPRESSION, max(0.0, overlapped - transfer)
-                )
-                cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
-        if weight[root] != num:
-            raise AssertionError("tree reduce missed workers")
-
-        # Broadcast: shallowest level first.
-        with tracer.span("all-gather", cat="phase", tag="m-tree-down"):
-            for level in levels[1:]:
-                cluster.begin_step()
-                for rank in level:
-                    parent = (rank - 1) // arity
-                    cluster.send(parent, rank, bits[parent], tag="m-tree-down")
-                for rank in level:
-                    bits[rank] = cluster.recv(
-                        rank, (rank - 1) // arity, tag="m-tree-down"
-                    )
-                cluster.end_step(tag="m-tree-down")
-        if self.config.verify_consensus:
-            for rank in range(1, num):
-                if not bits[rank].equals(bits[0]):
-                    raise AssertionError("tree consensus violated")
-        return bits[0]
-
-    # ------------------------------------------------------------------
-    # one-bit path, lane-stacked lockstep engine
-    # ------------------------------------------------------------------
-    def _reduce_cycles_batched(
-        self,
-        cluster: Cluster,
-        cycles: Sequence[Sequence[int]],
-        grid: PackedLaneGrid,
-        base_weight: int,
-        tag: str,
-    ) -> None:
-        """Batched :meth:`_reduce_cycles`: identical schedule, charges and
-        RNG streams, but each synchronous step's merges run as one
-        :class:`~repro.comm.bits.PackedBitsBatch` expression over all lanes.
-        """
-        if not cycles:
-            return
-        model = cluster.cost_model
-        metrics = cluster.obs.metrics
-        segment_elems = (
-            int(grid.lengths[0].max()) if grid.lengths.size else 0
-        )
-
-        def combine(
-            received: PackedBitsBatch,
-            local: PackedBitsBatch,
-            step: int,
-            ranks: Sequence[int],
-        ) -> PackedBitsBatch:
-            transient = transient_vector_batch(
-                local,
-                received_weights=(step + 1) * base_weight,
-                local_weights=base_weight,
-                rngs=[self.rngs[rank] for rank in ranks],
-            )
-            if metrics is not None:
-                # Same statistic as the scalar combine, batched over lanes.
-                metrics.counter("marsit.transient_draws").inc(
-                    int((received ^ local).popcounts().sum())
-                )
-                metrics.counter("marsit.merged_bits").inc(
-                    int(local.lengths.sum())
-                )
-            return merge_sign_bits_batch(received, local, transient)
-
-        def charge_hop(step: int, transfer: float) -> None:
-            # Sign extraction + transient draw for the next hop overlap the
-            # transfer (Section 4.1.1); only the excess is critical path.
-            overlapped = model.compress_time(segment_elems) + model.rng_time(
-                segment_elems
-            )
-            cluster.charge(Phase.COMPRESSION, max(0.0, overlapped - transfer))
-            # The merge itself needs the received bits: charged in full.
-            cluster.charge(Phase.COMPRESSION, model.bitop_time(segment_elems))
-
-        with cluster.obs.tracer.span("reduce-scatter", cat="phase", tag=tag):
-            # The first outgoing segment's signs must exist before step 0.
-            cluster.charge(
-                Phase.COMPRESSION, model.compress_time(segment_elems)
-            )
-            lockstep_ring_reduce_scatter(
-                cluster, cycles, grid, combine, tag=tag, on_step_end=charge_hop
-            )
-
-    def _gather_cycles_batched(
-        self,
-        cluster: Cluster,
-        cycles: Sequence[Sequence[int]],
-        grid: PackedLaneGrid,
-        tag: str,
-    ) -> None:
-        """Batched all-gather under an ``all-gather`` phase span."""
-        with cluster.obs.tracer.span("all-gather", cat="phase", tag=tag):
-            lockstep_ring_all_gather(cluster, cycles, grid, tag=tag)
-
-    def _check_grid_consensus(self, grid: PackedLaneGrid, where: str) -> None:
-        if not self.config.verify_consensus or grid.num_lanes <= 1:
-            return
-        if (grid.lengths != grid.lengths[0]).any() or (
-            grid.words != grid.words[0]
-        ).any():
-            raise AssertionError(f"consensus violated after {where}")
-
-    def _one_bit_ring_batched(
-        self, cluster: Cluster, matrix: np.ndarray
-    ) -> PackedBits:
-        """RAR one-bit sync on the lockstep engine (lane = ring position)."""
-        size = self.num_workers
-        ranks = list(range(size))
-        grid = PackedLaneGrid.from_sign_matrix(matrix, size)
-        self._reduce_cycles_batched(
-            cluster, [ranks], grid, base_weight=1, tag="m-rs"
-        )
-        self._gather_cycles_batched(cluster, [ranks], grid, tag="m-ag")
-        self._check_grid_consensus(grid, "gather phase")
-        return PackedBits.concat(grid.segments_of(0))
-
-    def _one_bit_torus_batched(
-        self, cluster: Cluster, matrix: np.ndarray
-    ) -> PackedBits:
-        """TAR one-bit sync on the lockstep engine.
-
-        Row phase lanes are ranks in row-major order (the row-cycle flatten);
-        column phase restacks each rank's owned segment into a second grid in
-        column-cycle order, mirroring the scalar path's ``split(rows)`` so
-        per-rank RNG streams line up exactly.
-        """
-        rows, cols = torus_rows_cols(cluster)
-        row_rank_lists = row_cycles(rows, cols)
-        col_rank_lists = col_cycles(rows, cols)
-
-        # Row phase: reduce-scatter sign bits within every row, in lockstep.
-        # cols == 1 degenerates to one whole-vector segment per rank.
-        grid = PackedLaneGrid.from_sign_matrix(matrix, cols)
-        if cols > 1:
-            self._reduce_cycles_batched(
-                cluster, row_rank_lists, grid, base_weight=1, tag="m-row-rs"
-            )
-
-        def owned_of(rank: int) -> int:
-            return (rank % cols + 1) % cols if cols > 1 else 0
-
-        # Column phase: one-bit all-reduce of every owned chunk, in lockstep.
-        if rows > 1:
-            col_ranks = [rank for ranks in col_rank_lists for rank in ranks]
-            col_grid = PackedLaneGrid.from_packed_rows(
-                [grid.row(rank, owned_of(rank)).split(rows) for rank in col_ranks]
-            )
-            self._reduce_cycles_batched(
-                cluster,
-                col_rank_lists,
-                col_grid,
-                base_weight=cols,
-                tag="m-col-rs",
-            )
-            self._gather_cycles_batched(
-                cluster, col_rank_lists, col_grid, tag="m-col-ag"
-            )
-            for lane, rank in enumerate(col_ranks):
-                grid.set_row(
-                    rank,
-                    owned_of(rank),
-                    PackedBits.concat(col_grid.segments_of(lane)),
-                )
-
-        # Row gather: circulate the now fully reduced owned segments.
-        if cols > 1:
-            self._gather_cycles_batched(
-                cluster, row_rank_lists, grid, tag="m-row-ag"
-            )
-
-        self._check_grid_consensus(grid, "torus gather")
-        return PackedBits.concat(grid.segments_of(0))
-
-    def _one_bit_segmented_ring_batched(
-        self, cluster: Cluster, matrix: np.ndarray
-    ) -> PackedBits:
-        """Segmented-ring variant on the lockstep engine: one grid per chunk."""
-        segment_elems = self.config.segment_elems
-        size = self.num_workers
-        ranks = list(range(size))
-        dimension = matrix.shape[1]
-        pieces: list[PackedBits] = []
-        for start in range(0, dimension, segment_elems):
-            stop = min(start + segment_elems, dimension)
-            grid = PackedLaneGrid.from_sign_matrix(matrix[:, start:stop], size)
-            self._reduce_cycles_batched(
-                cluster, [ranks], grid, base_weight=1, tag=f"m-seg{start}-rs"
-            )
-            self._gather_cycles_batched(
-                cluster, [ranks], grid, tag=f"m-seg{start}-ag"
-            )
-            self._check_grid_consensus(grid, "segmented-ring gather")
-            pieces.append(PackedBits.concat(grid.segments_of(0)))
-        return PackedBits.concat(pieces)
-
-    def _one_bit_tree_batched(
-        self, cluster: Cluster, matrix: np.ndarray
-    ) -> PackedBits:
-        """Tree variant on the lockstep engine.
-
-        Each level's child-into-parent merges run in *waves* by sibling index
-        ``(rank - 1) % arity``: a wave touches each parent at most once, so
-        batching across parents preserves every parent generator's
-        sequential child-merge order (ascending rank) and the running
-        subtree weights — bit-for-bit the scalar schedule.
-        """
-        meta = cluster.topology.meta
-        arity, root = meta["arity"], meta["root"]
-        num = self.num_workers
-        depth_of = [0] * num
-        for rank in range(1, num):
-            depth_of[rank] = depth_of[(rank - 1) // arity] + 1
-        max_depth = max(depth_of)
-        levels: list[list[int]] = [[] for _ in range(max_depth + 1)]
-        for rank, depth in enumerate(depth_of):
-            levels[depth].append(rank)
-
-        model = cluster.cost_model
-        metrics = cluster.obs.metrics
-        tracer = cluster.obs.tracer
-        dimension = matrix.shape[1]
-        words = PackedBitsBatch.from_sign_matrix(matrix).words.copy()
-        lengths = np.full(num, dimension, dtype=np.int64)
-        weight = np.ones(num, dtype=np.int64)
-        nbytes = (dimension + 7) // 8
-
-        # Reduce: deepest level first; each level is one synchronous step.
-        with tracer.span("reduce-scatter", cat="phase", tag="m-tree-up"):
-            cluster.charge(Phase.COMPRESSION, model.compress_time(dimension))
-            for level in reversed(levels[1:]):
-                for sibling in range(arity):
-                    wave = [r for r in level if (r - 1) % arity == sibling]
-                    if not wave:
-                        continue
-                    wave_arr = np.asarray(wave)
-                    parent_arr = (wave_arr - 1) // arity
-                    received = PackedBitsBatch._trusted(
-                        words[wave_arr], lengths[wave_arr]
-                    )
-                    local = PackedBitsBatch._trusted(
-                        words[parent_arr], lengths[parent_arr]
-                    )
-                    transient = transient_vector_batch(
-                        local,
-                        received_weights=weight[wave_arr],
-                        local_weights=weight[parent_arr],
-                        rngs=[self.rngs[int(p)] for p in parent_arr],
-                    )
-                    if metrics is not None:
-                        metrics.counter("marsit.transient_draws").inc(
-                            int((received ^ local).popcounts().sum())
-                        )
-                        metrics.counter("marsit.merged_bits").inc(
-                            int(local.lengths.sum())
-                        )
-                    merged = merge_sign_bits_batch(received, local, transient)
-                    words[parent_arr] = merged.words
-                    weight[parent_arr] += weight[wave_arr]
-                transfer = cluster.exchange(
-                    [(rank, (rank - 1) // arity, nbytes) for rank in level],
-                    tag="m-tree-up",
-                )
-                overlapped = model.rng_time(dimension)
-                cluster.charge(
-                    Phase.COMPRESSION, max(0.0, overlapped - transfer)
-                )
-                cluster.charge(Phase.COMPRESSION, model.bitop_time(dimension))
-        if int(weight[root]) != num:
-            raise AssertionError("tree reduce missed workers")
-
-        # Broadcast: shallowest level first.
-        with tracer.span("all-gather", cat="phase", tag="m-tree-down"):
-            for level in levels[1:]:
-                level_arr = np.asarray(level)
-                words[level_arr] = words[(level_arr - 1) // arity]
-                cluster.exchange(
-                    [((rank - 1) // arity, rank, nbytes) for rank in level],
-                    tag="m-tree-down",
-                )
-        if self.config.verify_consensus and num > 1:
-            if (words != words[0]).any():
-                raise AssertionError("tree consensus violated")
-        return PackedBits(words=words[0], length=dimension)
+        return final.to_signs(), digest, plan.num_steps
 
     # ------------------------------------------------------------------
     # full-precision path
     # ------------------------------------------------------------------
     def _full_precision_sync(
-        self, cluster: Cluster, vectors: list[np.ndarray]
-    ) -> list[np.ndarray]:
+        self, cluster: Cluster, vectors: np.ndarray
+    ) -> tuple[list[np.ndarray], str | None, int]:
         """Lines 12-13: FP32 all-reduce mean of the compensated updates."""
         if self.num_workers == 1:
-            return [vectors[0].copy()]
-        with cluster.obs.tracer.span("fp-allreduce", cat="phase"):
-            if cluster.topology.name == "torus":
-                return torus_allreduce_mean(cluster, vectors)
-            if cluster.topology.name == "tree":
-                from repro.allreduce.tree import tree_allreduce
-
-                wire = [np.asarray(v, dtype=np.float32) for v in vectors]
-                return tree_allreduce(
-                    cluster, wire, finalize=lambda x: x / self.num_workers
-                )
-            return ring_allreduce_mean(cluster, vectors)
+            return [vectors[0].copy()], None, 0
+        plan, digest = self._plan_for(cluster, "full_precision")
+        executor = get_executor(self.config.engine)
+        outputs = executor.run_full_precision(plan, cluster, vectors)
+        return outputs, digest, plan.num_steps

@@ -212,6 +212,12 @@ def render_result_report(result: dict[str, Any]) -> str:
         f"avg bits/element: {result.get('avg_bits_per_element', 32.0):.2f}",
         f"diverged        : {result.get('diverged', False)}",
     ]
+    if result.get("plan_digest"):
+        lines.insert(
+            len(lines) - 1,
+            f"sync plan       : {result['plan_digest']} "
+            f"({result.get('num_plan_steps', 0)} steps)",
+        )
     breakdown = result.get("time_breakdown_s") or {}
     if breakdown:
         total = sum(breakdown.values())

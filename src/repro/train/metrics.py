@@ -74,6 +74,8 @@ class TrainResult:
     rounds_run: int = 0
     diverged: bool = False
     avg_bits_per_element: float = 32.0
+    plan_digest: str | None = None
+    num_plan_steps: int = 0
 
     def best_accuracy(self) -> float:
         if not self.history:
@@ -120,6 +122,8 @@ class TrainResult:
             "total_sim_time_s": self.total_sim_time_s,
             "total_comm_bytes": self.total_comm_bytes,
             "avg_bits_per_element": self.avg_bits_per_element,
+            "plan_digest": self.plan_digest,
+            "num_plan_steps": self.num_plan_steps,
             "time_breakdown_s": dict(self.time_breakdown_s),
             "history": [
                 {
@@ -161,6 +165,8 @@ class TrainResult:
             rounds_run=payload.get("rounds_run", 0),
             diverged=payload.get("diverged", False),
             avg_bits_per_element=payload.get("avg_bits_per_element", 32.0),
+            plan_digest=payload.get("plan_digest"),
+            num_plan_steps=payload.get("num_plan_steps", 0),
         )
         for record in payload.get("history") or []:
             result.history.append(

@@ -28,15 +28,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.allreduce import get_topology, topology_names
 from repro.allreduce.cascading import cascading_ring_allreduce
-from repro.allreduce.ps import ps_allreduce
-from repro.comm.bits import signed_int_bit_width
-from repro.allreduce.ring import ring_allreduce_mean, signsum_ring_allreduce
-from repro.allreduce.torus import (
-    signsum_torus_allreduce,
-    torus_allgather_scalars,
-    torus_allreduce_mean,
+from repro.allreduce.ring import (
+    ring_allgather_scalars,
+    ring_allreduce_mean,
+    signsum_ring_allreduce,
 )
+from repro.comm.bits import signed_int_bit_width
 from repro.comm.cluster import Cluster
 from repro.compression.ef import EFSignCompressor
 from repro.compression.ssdm import SSDMCompressor, stochastic_sign
@@ -59,70 +58,53 @@ __all__ = [
 
 @dataclass
 class StepResult:
-    """Per-round outcome: updates to subtract, and what went on the wire."""
+    """Per-round outcome: updates to subtract, and what went on the wire.
+
+    ``plan_digest``/``num_plan_steps`` identify the compiled
+    :class:`~repro.sched.plan.SyncPlan` for strategies that run one (Marsit);
+    other schemes leave the defaults.
+    """
 
     updates: list[np.ndarray] = field(repr=False)
     bits_per_element: float = 32.0
+    plan_digest: str | None = None
+    num_plan_steps: int = 0
+
+
+def _registry_entry(cluster: Cluster):
+    """The cluster topology's registry entry, or None if unregistered."""
+    name = cluster.topology.name
+    return get_topology(name) if name in topology_names() else None
 
 
 def _mean_allreduce(cluster: Cluster, vectors: list[np.ndarray]) -> list[np.ndarray]:
-    """Topology-appropriate full-precision mean all-reduce."""
+    """Registry-driven full-precision mean all-reduce."""
     if cluster.num_workers == 1:
         return [np.asarray(vectors[0], dtype=np.float64).copy()]
-    if cluster.topology.name == "torus":
-        return torus_allreduce_mean(cluster, vectors)
-    if cluster.topology.name == "star":
-        mean = ps_allreduce(
-            cluster,
-            [np.asarray(v, dtype=np.float32) for v in vectors],
-            aggregate=lambda xs: np.mean(xs, axis=0),
-        )
-        return [np.asarray(m, dtype=np.float64) for m in mean]
+    entry = _registry_entry(cluster)
+    if entry is not None and entry.mean_allreduce is not None:
+        return entry.mean_allreduce(cluster, vectors)
     return ring_allreduce_mean(cluster, vectors)
 
 
 def _signsum_allreduce(
     cluster: Cluster, signs: list[np.ndarray]
 ) -> list[np.ndarray]:
-    """Topology-appropriate integer sign-sum all-reduce (with expansion)."""
-    if cluster.topology.name == "torus":
-        return signsum_torus_allreduce(cluster, signs)
+    """Registry-driven integer sign-sum all-reduce (with expansion)."""
+    entry = _registry_entry(cluster)
+    if entry is not None and entry.signsum_allreduce is not None:
+        return entry.signsum_allreduce(cluster, signs)
     return signsum_ring_allreduce(cluster, signs)
 
 
 def _allgather_scalars(cluster: Cluster, values: list[float]) -> np.ndarray:
     """All-gather one float per worker along topology links."""
-    num = cluster.num_workers
-    if num == 1:
+    if cluster.num_workers == 1:
         return np.array(values, dtype=np.float64)
-    if cluster.topology.name == "torus":
-        return torus_allgather_scalars(cluster, values)
-    if cluster.topology.name == "star":
-        gathered = ps_allreduce(
-            cluster,
-            [np.array([v], dtype=np.float32) for v in values],
-            aggregate=lambda xs: np.concatenate(xs),
-        )
-        # PS order: server's own first, then others; restore rank order.
-        server = cluster.topology.meta["server"]
-        order = [server] + [r for r in range(num) if r != server]
-        out = np.empty(num)
-        out[order] = gathered[0]
-        return out
-    known = [{rank: np.float64(values[rank])} for rank in range(num)]
-    succ = {rank: (rank + 1) % num for rank in range(num)}
-    for step in range(num - 1):
-        cluster.begin_step()
-        for rank in range(num):
-            origin = (rank - step) % num
-            cluster.send(rank, succ[rank], float(known[rank][origin]), tag="scal")
-        for rank in range(num):
-            origin = (rank - 1 - step) % num
-            known[rank][origin] = cluster.recv(
-                rank, (rank - 1) % num, tag="scal"
-            )
-        cluster.end_step()
-    return np.array([known[0][rank] for rank in range(num)])
+    entry = _registry_entry(cluster)
+    if entry is not None and entry.allgather_scalars is not None:
+        return entry.allgather_scalars(cluster, values)
+    return ring_allgather_scalars(cluster, values)
 
 
 class SyncStrategy(abc.ABC):
@@ -681,6 +663,8 @@ class MarsitStrategy(SyncStrategy):
         result = StepResult(
             updates=report.global_updates,
             bits_per_element=report.bits_per_element,
+            plan_digest=report.plan_digest,
+            num_plan_steps=report.num_plan_steps,
         )
         self.callbacks.on_sync_done(
             round_idx, result, cluster=cluster, strategy=self

@@ -27,14 +27,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro.allreduce import get_topology, topology_names
 from repro.comm.cluster import Cluster
 from repro.comm.timing import CostModel, Phase
-from repro.comm.topology import (
-    ring_topology,
-    star_topology,
-    torus_topology,
-    tree_topology,
-)
 from repro.data.sharding import WorkerBatchIterator, shard_dirichlet, shard_iid
 from repro.data.synthetic import ArrayDataset
 from repro.nn.losses import CrossEntropyLoss
@@ -55,8 +50,9 @@ class TrainConfig:
         num_workers: M.
         rounds: synchronizations T.
         batch_size: per-worker batch size (global batch = M x this).
-        topology: ``"ring"`` (RAR), ``"torus"`` (TAR), ``"star"`` (PS), or
-            ``"tree"`` (tree all-reduce).
+        topology: any name in :func:`repro.allreduce.topology_names` —
+            ``"ring"`` (RAR), ``"torus"`` (TAR), ``"star"`` (PS), ``"tree"``
+            (tree all-reduce), ``"halving_doubling"`` (butterfly), ...
         torus_shape: (rows, cols) when topology is torus.
         eval_every: evaluation cadence in rounds.
         eval_max_batches: cap on evaluation batches (None = full test set).
@@ -107,8 +103,11 @@ class TrainConfig:
             raise ValueError("num_workers must be >= 1")
         if self.rounds < 1:
             raise ValueError("rounds must be >= 1")
-        if self.topology not in ("ring", "torus", "star", "tree"):
-            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.topology not in topology_names():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; registered "
+                f"topologies: {', '.join(topology_names())}"
+            )
         if self.sharding not in ("iid", "dirichlet"):
             raise ValueError(f"unknown sharding {self.sharding!r}")
         if self.clip_grad_norm is not None and self.clip_grad_norm <= 0:
@@ -128,19 +127,19 @@ class TrainConfig:
 
 
 def make_cluster(config: TrainConfig, cost_model: CostModel | None = None) -> Cluster:
-    """Build the cluster matching a :class:`TrainConfig`."""
+    """Build the cluster matching a :class:`TrainConfig`.
+
+    The graph comes from the topology registry; every family's ``build``
+    takes the worker count plus family-specific keywords (only the torus
+    needs one here).  On the star, rank 0 doubles as the parameter server
+    (it aggregates its own gradient locally), so cluster size equals worker
+    count and the strategies' per-rank bookkeeping is topology independent.
+    """
+    kwargs = {}
     if config.topology == "torus":
         rows, cols = config.torus_shape
-        topology = torus_topology(rows, cols)
-    elif config.topology == "star":
-        # Rank 0 doubles as the parameter server (it aggregates its own
-        # gradient locally), so cluster size equals worker count and the
-        # strategies' per-rank bookkeeping is topology independent.
-        topology = star_topology(config.num_workers, server=0)
-    elif config.topology == "tree":
-        topology = tree_topology(config.num_workers, arity=2)
-    else:
-        topology = ring_topology(config.num_workers)
+        kwargs = {"rows": rows, "cols": cols}
+    topology = get_topology(config.topology).build(config.num_workers, **kwargs)
     return Cluster(topology, cost_model=cost_model)
 
 
@@ -259,6 +258,9 @@ class DistributedTrainer:
                 round_idx, step, cluster=self.cluster, trainer=self
             )
             bits_seen.append(step.bits_per_element)
+            if step.plan_digest is not None:
+                result.plan_digest = step.plan_digest
+                result.num_plan_steps = step.num_plan_steps
             update = step.updates[0]
             if not np.isfinite(update).all():
                 result.diverged = True

@@ -1,9 +1,12 @@
 """Smoke-run the lockstep benchmark's ``--check`` mode in tier 1.
 
-Exercises the full scalar-vs-batched verification path (output, byte, and
-message identity asserts inside ``run_rounds``) on a small input so an
-engine divergence fails the ordinary test run, not just the long benchmark.
-Timings at this size are noise, so no speedup floors are asserted here.
+Exercises the full scalar-vs-batched verification path (output, byte,
+message, and plan-digest identity asserts inside ``run_rounds``) plus the
+plan-executor guard (bit-identity and charge-identity against the frozen
+hand-coded round inside ``run_plan_guard``) on a small input, so an engine
+or executor divergence fails the ordinary test run, not just the long
+benchmark.  Timings at this size are noise, so no speedup floors or
+overhead ceilings are asserted here.
 """
 
 from benchmarks.bench_lockstep import CHECK_DIMENSION, CHECK_WORKERS, run_mode
@@ -11,9 +14,16 @@ from benchmarks.bench_lockstep import CHECK_DIMENSION, CHECK_WORKERS, run_mode
 
 def test_check_mode_runs_and_reports(capsys):
     results = run_mode("check")
-    assert set(results) == {str(m) for m in CHECK_WORKERS}
-    for entry in results.values():
+    workers = results["workers"]
+    assert set(workers) == {str(m) for m in CHECK_WORKERS}
+    for entry in workers.values():
         assert entry["old_s"] > 0 and entry["new_s"] > 0
         assert entry["speedup"] > 0
+        assert entry["plan_digest"]
+    guard = results["plan_guard"]
+    assert guard["hand_coded_s"] > 0 and guard["plan_executor_s"] > 0
+    assert guard["overhead"] > 0
+    assert guard["plan_digest"]
     out = capsys.readouterr().out
     assert f"D={CHECK_DIMENSION}" in out
+    assert "plan-executor guard" in out

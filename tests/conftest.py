@@ -1,7 +1,21 @@
-"""Shared fixtures."""
+"""Shared fixtures and options."""
 
 import numpy as np
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden SyncPlan snapshots instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture

@@ -71,6 +71,8 @@ class TestSchemaStability:
             "avg_bits_per_element",
             "time_breakdown_s",
             "history",
+            "plan_digest",
+            "num_plan_steps",
         }
 
     def test_time_breakdown_keys_match_phase_values(self):
