@@ -60,6 +60,7 @@ def quick_train(
     seed: int = 0,
     observability=None,
     callbacks=None,
+    faults=None,
 ) -> TrainResult:
     """One-call demo: train an MLP on MNIST-like data with a named scheme.
 
@@ -72,6 +73,8 @@ def quick_train(
         observability: optional :class:`repro.obs.Observability` attached to
             the cluster (span tracer and/or metrics registry).
         callbacks: optional sequence of :class:`repro.obs.TrainerCallback`.
+        faults: optional :class:`repro.faults.FaultPlan` injected into the
+            cluster (jitter, stragglers, drops, bit-flips, crashes).
 
     Returns:
         The :class:`repro.train.TrainResult` with accuracy/time/bytes
@@ -129,6 +132,7 @@ def quick_train(
         torus_shape=torus_shape,
         eval_every=max(1, rounds // 10),
         seed=seed,
+        faults=faults,
     )
     trainer = DistributedTrainer(
         factory,

@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the TrainResult JSON document (readable by 'report')",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="inject network faults from a FaultPlan JSON file",
+    )
     return parser
 
 
@@ -105,6 +111,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import Observability
 
         observability = Observability.tracing()
+    faults = None
+    if args.faults:
+        from repro.faults import load_fault_plan
+
+        try:
+            faults = load_fault_plan(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.faults}: {exc}", file=sys.stderr)
+            return 2
     result = quick_train(
         strategy=args.strategy,
         num_workers=args.workers,
@@ -112,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         topology=args.topology,
         seed=args.seed,
         observability=observability,
+        faults=faults,
     )
     print(f"strategy      : {result.strategy_name}")
     print(f"rounds run    : {result.rounds_run}")
@@ -120,6 +136,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bytes on wire : {result.total_comm_bytes:,}")
     print(f"simulated time: {result.total_sim_time_s * 1e3:.2f} ms")
     print(f"bits/element  : {result.avg_bits_per_element:.2f}")
+    if result.fault_summary is not None:
+        counters = result.fault_summary.get("counters") or {}
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        print(f"fault counters: {rendered or 'none fired'}")
     if args.save:
         result.to_json(args.save)
         print(f"saved result  : {args.save}")

@@ -134,6 +134,10 @@ class TopologyEntry:
             or ``None`` to fall back to the ring schedule.
         allgather_scalars: ``(cluster, values) -> np.ndarray`` one-float
             all-gather, or ``None`` to fall back to the ring walk.
+        degrade: ``(num_survivors, meta) -> Topology | None`` crash-recovery
+            rebuild at a smaller size.  Returning ``None`` (or omitting the
+            hook) means the family cannot shrink to that size and recovery
+            falls back to a ring (:mod:`repro.faults.recovery`).
     """
 
     name: str
@@ -142,6 +146,7 @@ class TopologyEntry:
     mean_allreduce: Callable | None = None
     signsum_allreduce: Callable | None = None
     allgather_scalars: Callable | None = None
+    degrade: Callable[[int, dict], Topology | None] | None = None
 
 
 _REGISTRY: dict[str, TopologyEntry] = {}
@@ -184,6 +189,23 @@ def _build_torus(num_workers: int, rows: int, cols: int) -> Topology:
     return torus_topology(rows, cols)
 
 
+def _degrade_ring(num_survivors: int, meta: dict) -> Topology:
+    # A ring exists at every size; survivors close ranks and keep the shape.
+    return ring_topology(num_survivors)
+
+
+def _degrade_tree(num_survivors: int, meta: dict) -> Topology:
+    # Trees rebuild at any size with the same arity.
+    return tree_topology(num_survivors, arity=meta.get("arity", 2))
+
+
+def _degrade_halving_doubling(num_survivors: int, meta: dict) -> Topology | None:
+    # The butterfly exists only at powers of two; otherwise fall back (ring).
+    if num_survivors & (num_survivors - 1) == 0:
+        return halving_doubling_topology(num_survivors)
+    return None
+
+
 register_topology(
     TopologyEntry(
         name="ring",
@@ -192,6 +214,7 @@ register_topology(
         mean_allreduce=ring_allreduce_mean,
         signsum_allreduce=signsum_ring_allreduce,
         allgather_scalars=ring_allgather_scalars,
+        degrade=_degrade_ring,
     )
 )
 register_topology(
@@ -202,6 +225,8 @@ register_topology(
         mean_allreduce=torus_allreduce_mean,
         signsum_allreduce=signsum_torus_allreduce,
         allgather_scalars=torus_allgather_scalars,
+        # No degrade hook: a torus minus one node is not a torus — survivors
+        # reform as a ring.
     )
 )
 register_topology(
@@ -218,6 +243,7 @@ register_topology(
         build=tree_topology,
         compile_one_bit=compile_tree,
         mean_allreduce=tree_allreduce_mean,
+        degrade=_degrade_tree,
     )
 )
 register_topology(
@@ -226,5 +252,6 @@ register_topology(
         build=halving_doubling_topology,
         compile_one_bit=compile_halving_doubling,
         mean_allreduce=halving_doubling_allreduce_mean,
+        degrade=_degrade_halving_doubling,
     )
 )

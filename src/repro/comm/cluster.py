@@ -135,6 +135,25 @@ class Worker:
             del self.mailbox[key]
         return message
 
+    def discard(self, tag: str | None = None, src: int | None = None) -> int:
+        """Drop pending messages matching ``tag``/``src`` (None = any).
+
+        The cleanup half of timeout recovery: a round aborted after a lost
+        message leaves its delivered-but-never-taken companions queued, and
+        those must not survive into the next round's ``take`` calls (or trip
+        ``assert_drained``).  Returns the number of messages discarded.
+        """
+        removed = 0
+        for key in list(self.mailbox):
+            key_src, key_tag = key
+            if tag is not None and key_tag != tag:
+                continue
+            if src is not None and key_src != src:
+                continue
+            removed += len(self.mailbox[key])
+            del self.mailbox[key]
+        return removed
+
     def pending(self) -> int:
         return sum(len(queue) for queue in self.mailbox.values())
 
@@ -190,6 +209,7 @@ class Cluster:
         self._in_step = False
         self.obs = NULL_OBS
         self._obs_on = False
+        self.faults = None
         if obs is not None:
             self.attach_observability(obs)
 
@@ -201,6 +221,16 @@ class Cluster:
         """
         self.obs = obs
         self._obs_on = obs.enabled
+
+    def attach_faults(self, injector) -> None:
+        """Attach a :class:`~repro.faults.inject.FaultInjector` (or None).
+
+        With no injector attached every hook below is one ``is None`` check;
+        fault-free runs stay bit-identical to a build without this feature.
+        """
+        self.faults = injector
+        if injector is not None:
+            injector.bind(self)
 
     @property
     def num_workers(self) -> int:
@@ -217,15 +247,24 @@ class Cluster:
             )
         nbytes = payload_nbytes(payload)
         message = Message(src=src, dst=dst, payload=payload, nbytes=nbytes, tag=tag)
-        self.workers[dst].deliver(message)
+        wire_bytes = nbytes
+        deliver = True
+        if self.faults is not None:
+            # Retry-mode losses retransmit: the extra attempts' bytes travel
+            # the wire (and count everywhere bytes count); the message still
+            # counts once.  Timeout-mode losses are never delivered.
+            extra, deliver = self.faults.on_message(tag, src, dst, nbytes)
+            wire_bytes += extra
+        if deliver:
+            self.workers[dst].deliver(message)
         link = self.links[(src, dst)]
-        link.bytes_sent += nbytes
+        link.bytes_sent += wire_bytes
         link.messages_sent += 1
-        self.total_bytes += nbytes
+        self.total_bytes += wire_bytes
         self.total_messages += 1
         if self._in_step:
             key = (src, dst)
-            self._step_bytes[key] = self._step_bytes.get(key, 0) + nbytes
+            self._step_bytes[key] = self._step_bytes.get(key, 0) + wire_bytes
             self._step_messages += 1
         return message
 
@@ -265,6 +304,9 @@ class Cluster:
         """
         if self._in_step:
             raise RuntimeError("cannot exchange inside an open step")
+        faults = self.faults
+        if faults is not None:
+            faults.begin_step()
         step_bytes: dict[tuple[int, int], int] = {}
         links = self.links
         total = 0
@@ -279,6 +321,12 @@ class Cluster:
             nbytes = payload if type(payload) is int else payload_nbytes(payload)
             if nbytes < 0:
                 raise ValueError("nbytes must be non-negative")
+            if faults is not None:
+                # Same decision the per-message path makes; the lockstep
+                # engine has no mailboxes, so only the byte/time consequences
+                # apply (terminal timeout mode is a scalar-engine diagnostic).
+                extra, _ = faults.on_message(tag, src, dst, nbytes)
+                nbytes += extra
             link.bytes_sent += nbytes
             link.messages_sent += 1
             total += nbytes
@@ -288,10 +336,13 @@ class Cluster:
         self.total_messages += count
         if not step_bytes:
             return 0.0
-        elapsed = max(
-            self._link_transfer_time(link, nbytes)
-            for link, nbytes in step_bytes.items()
-        )
+        if faults is not None:
+            elapsed = faults.finish_step(tag, step_bytes)
+        else:
+            elapsed = max(
+                self._link_transfer_time(link, nbytes)
+                for link, nbytes in step_bytes.items()
+            )
         self.timeline.add(Phase.COMMUNICATION, elapsed)
         if self._obs_on:
             self._record_step_obs(tag, step_bytes, count, elapsed)
@@ -307,6 +358,8 @@ class Cluster:
         self._in_step = True
         self._step_bytes = {}
         self._step_messages = 0
+        if self.faults is not None:
+            self.faults.begin_step()
 
     def end_step(self, tag: str = "") -> float:
         """Close the step and charge its makespan to the timeline.
@@ -320,16 +373,89 @@ class Cluster:
         self._in_step = False
         if not self._step_bytes:
             return 0.0
-        elapsed = max(
-            self._link_transfer_time(link, nbytes)
-            for link, nbytes in self._step_bytes.items()
-        )
+        if self.faults is not None:
+            elapsed = self.faults.finish_step(tag, self._step_bytes)
+        else:
+            elapsed = max(
+                self._link_transfer_time(link, nbytes)
+                for link, nbytes in self._step_bytes.items()
+            )
         self.timeline.add(Phase.COMMUNICATION, elapsed)
         if self._obs_on:
             self._record_step_obs(
                 tag, self._step_bytes, self._step_messages, elapsed
             )
         return elapsed
+
+    def abort_step(self, tag: str = "") -> dict[tuple[int, int], int]:
+        """Close an open step without charging its makespan.
+
+        The timeout-recovery half of :meth:`end_step`: when a message is
+        lost terminally mid-step, the round is void — charging the partial
+        step's makespan (or letting its byte map leak into the *next*
+        ``end_step``) would corrupt the timeline.  Wire counters keep the
+        attempted bytes (they did travel); only the step state is cleared.
+        Returns the aborted step's per-link byte map for diagnostics; pair
+        with :meth:`discard_pending` to drop the step's queued messages.
+        """
+        if not self._in_step:
+            raise RuntimeError("no step open")
+        self._in_step = False
+        aborted = self._step_bytes
+        self._step_bytes = {}
+        self._step_messages = 0
+        if self._obs_on:
+            self.obs.tracer.instant(
+                "wire.step_aborted", tag=tag, bytes=sum(aborted.values())
+            )
+            if self.obs.metrics is not None:
+                self.obs.metrics.counter("wire.steps_aborted").inc()
+        return aborted
+
+    def discard_pending(
+        self, tag: str | None = None, src: int | None = None
+    ) -> int:
+        """Drop queued messages on every worker (see :meth:`Worker.discard`).
+
+        Returns the total number discarded; after an aborted round this puts
+        :meth:`assert_drained` back into force.
+        """
+        dropped = sum(
+            worker.discard(tag=tag, src=src) for worker in self.workers
+        )
+        if dropped and self._obs_on and self.obs.metrics is not None:
+            self.obs.metrics.counter("wire.discarded_messages").inc(dropped)
+        return dropped
+
+    def reconfigure(self, topology: Topology, drop_pending: bool = False) -> None:
+        """Swap the topology in place — crash recovery's cluster surgery.
+
+        Fresh workers and per-link counters are installed for the new graph;
+        cumulative totals (``total_bytes``, ``total_messages``, the
+        timeline) survive, so a run's cost accounting spans the recovery.
+        Pending mailbox messages must be drained first or explicitly dropped
+        with ``drop_pending=True`` (a crashed round's survivors hold
+        messages that will never be taken).
+        """
+        if self._in_step:
+            raise RuntimeError("cannot reconfigure inside an open step")
+        pending = sum(worker.pending() for worker in self.workers)
+        if pending and not drop_pending:
+            raise RuntimeError(
+                f"{pending} undelivered messages; drain them or pass "
+                "drop_pending=True"
+            )
+        topology.validate()
+        self.topology = topology
+        self.workers = [Worker(rank) for rank in range(topology.num_workers)]
+        self.links = {(u, v): Link(u, v) for u, v in topology.graph.edges}
+        self.link_speed_factors = {
+            key: factor
+            for key, factor in self.link_speed_factors.items()
+            if topology.has_edge(*key)
+        }
+        self._step_bytes = {}
+        self._step_messages = 0
 
     def _record_step_obs(
         self,

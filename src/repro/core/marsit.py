@@ -149,6 +149,10 @@ class SyncReport:
     global_updates: list[np.ndarray] = field(repr=False)
     plan_digest: str | None = None
     num_plan_steps: int = 0
+    #: True when this round ran crash recovery: the topology was degraded to
+    #: the survivor set and the round was forced to full precision to reset
+    #: compensation (the paper's K-sync mechanism as a recovery anchor).
+    recovered: bool = False
 
 
 class MarsitSynchronizer:
@@ -178,6 +182,16 @@ class MarsitSynchronizer:
         seeds = np.random.SeedSequence(config.seed).spawn(num_workers)
         self.rngs = [np.random.default_rng(seed) for seed in seeds]
         self._plans: dict[tuple, tuple[SyncPlan, str]] = {}
+        # Crash recovery state: the original ranks still participating, and
+        # whether the next round must resync in full precision.
+        self._active: list[int] = list(range(num_workers))
+        self._inactive: list[int] = []
+        self._forced_fp = False
+
+    @property
+    def active_workers(self) -> list[int]:
+        """Original ranks of the workers still participating."""
+        return list(self._active)
 
     # ------------------------------------------------------------------
     # public API
@@ -202,7 +216,15 @@ class MarsitSynchronizer:
             entries are identical (consensus); on full-precision rounds they
             are identical up to FP32 wire rounding.
         """
-        if cluster.num_workers != self.num_workers:
+        faults = cluster.faults
+        recovered = False
+        if faults is not None:
+            faults.begin_round(round_idx)
+            crashed = faults.take_new_crashes()
+            if crashed:
+                self._recover(cluster, crashed, faults)
+                recovered = True
+        if cluster.num_workers != len(self._active):
             raise ValueError("cluster size does not match synchronizer")
         if len(updates) != self.num_workers:
             raise ValueError("one update vector per worker required")
@@ -213,11 +235,19 @@ class MarsitSynchronizer:
                     f"update dimension {vector.shape} != ({self.dimension},)"
                 )
         # One (M, D) matrix expression forms every worker's compensated
-        # update at once (line 1 of Algorithm 1).
+        # update at once (line 1 of Algorithm 1).  After a crash only the
+        # survivors' rows go on the wire; dead rows stay parked (their
+        # updates are ignored and their compensation pinned to zero).
         compensated = np.stack(stacked) + self.state.compensation
+        active = self._active
+        degraded = len(active) != self.num_workers
+        vectors = compensated[active] if degraded else compensated
 
         obs = cluster.obs
-        full_precision = self.config.is_full_precision_round(round_idx)
+        full_precision = (
+            self.config.is_full_precision_round(round_idx) or self._forced_fp
+        )
+        self._forced_fp = False
         with obs.tracer.span(
             "round",
             cat="marsit",
@@ -226,12 +256,20 @@ class MarsitSynchronizer:
             full_precision=full_precision,
         ):
             if full_precision:
-                global_updates, plan_digest, num_plan_steps = (
-                    self._full_precision_sync(cluster, compensated)
+                outputs, plan_digest, num_plan_steps = (
+                    self._full_precision_sync(cluster, vectors)
                 )
                 self.state.compensation = np.zeros(
                     (self.num_workers, self.dimension)
                 )
+                if degraded:
+                    # Dead ranks get the consensus update so trainer-side
+                    # indexing (``updates[0]``) stays valid either way.
+                    global_updates = [outputs[0].copy()] * self.num_workers
+                    for pos, rank in enumerate(active):
+                        global_updates[rank] = outputs[pos]
+                else:
+                    global_updates = outputs
                 report = SyncReport(
                     round_idx=round_idx,
                     full_precision=True,
@@ -239,15 +277,19 @@ class MarsitSynchronizer:
                     global_updates=global_updates,
                     plan_digest=plan_digest,
                     num_plan_steps=num_plan_steps,
+                    recovered=recovered,
                 )
             else:
                 consensus_signs, plan_digest, num_plan_steps = (
-                    self._one_bit_sync(cluster, compensated)
+                    self._one_bit_sync(cluster, vectors)
                 )
                 eta_s = self.config.effective_global_lr(round_idx)
                 global_update = eta_s * consensus_signs
                 if self.config.use_compensation:
-                    self.state.compensation = compensated - global_update
+                    compensation = compensated - global_update
+                    if degraded:
+                        compensation[self._inactive] = 0.0
+                    self.state.compensation = compensation
                 else:
                     self.state.compensation = np.zeros(
                         (self.num_workers, self.dimension)
@@ -261,36 +303,79 @@ class MarsitSynchronizer:
                     ],
                     plan_digest=plan_digest,
                     num_plan_steps=num_plan_steps,
+                    recovered=recovered,
                 )
         metrics = obs.metrics
         if metrics is not None:
             metrics.gauge("marsit.bits_per_element").set(report.bits_per_element)
             metrics.gauge("marsit.comp_norm").set(
-                float(np.mean(np.linalg.norm(self.state.compensation, axis=1)))
+                float(
+                    np.mean(
+                        np.linalg.norm(self.state.compensation[active], axis=1)
+                    )
+                )
             )
             if not full_precision:
                 # Live Figure-1b statistic: how often the one-bit consensus
                 # matches the sign of the exact full-precision mean update.
-                mean_sign = np.where(compensated.mean(axis=0) >= 0, 1.0, -1.0)
+                mean_sign = np.where(vectors.mean(axis=0) >= 0, 1.0, -1.0)
                 metrics.gauge("marsit.sign_agreement").set(
                     float(np.mean(consensus_signs == mean_sign))
                 )
         return report
 
     # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _recover(self, cluster: Cluster, crashed, faults) -> None:
+        """Degrade to the survivor set and force an early FP resync.
+
+        Quorum check -> rebuild the topology over the survivors (same family
+        when it can shrink, ring otherwise) -> reconfigure the cluster in
+        place -> re-rank the injector -> force this round to full precision
+        so every survivor's compensation is reset (the paper's K-sync
+        mechanism doubling as the recovery anchor).
+        """
+        from repro.faults.recovery import check_quorum, degraded_topology
+
+        crashed_set = set(crashed)
+        survivors = [rank for rank in self._active if rank not in crashed_set]
+        check_quorum(faults.plan, self.num_workers, survivors)
+        topology = degraded_topology(cluster.topology, len(survivors))
+        cluster.reconfigure(topology, drop_pending=True)
+        faults.set_active(survivors)
+        self._active = survivors
+        self._inactive = [
+            rank for rank in range(self.num_workers) if rank not in survivors
+        ]
+        self._forced_fp = True
+        faults.note_recovery(tuple(crashed), survivors)
+
+    # ------------------------------------------------------------------
     # plan cache
     # ------------------------------------------------------------------
     def _plan_for(self, cluster: Cluster, kind: str) -> tuple[SyncPlan, str]:
-        """Compile (or fetch) the plan for ``cluster``'s topology."""
+        """Compile (or fetch) the plan for ``cluster``'s topology.
+
+        The worker count is the *cluster*'s, not the synchronizer's — after
+        crash recovery the degraded topology is smaller, and its plans cache
+        under a distinct key.
+        """
         topology = cluster.topology
         meta_items = tuple(sorted(topology.meta.items()))
-        key = (kind, topology.name, meta_items, self.config.segment_elems)
+        key = (
+            kind,
+            topology.name,
+            meta_items,
+            cluster.num_workers,
+            self.config.segment_elems,
+        )
         cached = self._plans.get(key)
         if cached is not None:
             return cached
         if kind == "full_precision":
             plan = full_precision_plan(
-                topology.name, self.num_workers, self.dimension
+                topology.name, cluster.num_workers, self.dimension
             )
         else:
             from repro.allreduce import get_topology
@@ -299,7 +384,7 @@ class MarsitSynchronizer:
             compiler = get_topology(topology.name).compile_one_bit
             plan = compiler(
                 CompileContext(
-                    num_workers=self.num_workers,
+                    num_workers=cluster.num_workers,
                     dimension=self.dimension,
                     meta=dict(topology.meta),
                     segment_elems=self.config.segment_elems,
@@ -318,19 +403,25 @@ class MarsitSynchronizer:
     ) -> tuple[np.ndarray, str | None, int]:
         """Plan-driven sign aggregation; returns the consensus ``{-1,+1}``.
 
-        ``vectors`` is the stacked ``(M, D)`` compensated-update matrix; the
-        scalar engine indexes its rows, the batched engine consumes it whole.
+        ``vectors`` is the stacked compensated-update matrix of the *active*
+        workers (one row per cluster rank); the scalar engine indexes its
+        rows, the batched engine consumes it whole.  Survivors keep their
+        original RNG streams across a recovery.
         """
-        if self.num_workers == 1:
+        if vectors.shape[0] == 1:
             bits = (vectors[0] >= 0).astype(np.uint8)
             return bits.astype(np.float64) * 2.0 - 1.0, None, 0
         plan, digest = self._plan_for(cluster, "one_bit")
         executor = get_executor(self.config.engine)
+        if len(self._active) == self.num_workers:
+            rngs = self.rngs
+        else:
+            rngs = [self.rngs[rank] for rank in self._active]
         final = executor.run_one_bit(
             plan,
             cluster,
             vectors,
-            self.rngs,
+            rngs,
             verify_consensus=self.config.verify_consensus,
         )
         # The single unpack of the whole pipeline: words -> {-1, +1} floats.
@@ -343,7 +434,7 @@ class MarsitSynchronizer:
         self, cluster: Cluster, vectors: np.ndarray
     ) -> tuple[list[np.ndarray], str | None, int]:
         """Lines 12-13: FP32 all-reduce mean of the compensated updates."""
-        if self.num_workers == 1:
+        if vectors.shape[0] == 1:
             return [vectors[0].copy()], None, 0
         plan, digest = self._plan_for(cluster, "full_precision")
         executor = get_executor(self.config.engine)

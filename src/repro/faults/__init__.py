@@ -1,0 +1,43 @@
+"""Deterministic fault injection and recovery for the simulated cluster.
+
+- :mod:`repro.faults.plan` — the declarative, seeded :class:`FaultPlan`.
+- :mod:`repro.faults.inject` — the :class:`FaultInjector` consulted by
+  ``Cluster.send``/``exchange`` and the executors' reduce hops.
+- :mod:`repro.faults.recovery` — quorum check, topology degradation, and
+  post-crash plan recompilation.
+"""
+
+from repro.faults.inject import FaultInjector, WorkerCrashedError
+from repro.faults.plan import (
+    BitFlip,
+    FaultPlan,
+    LinkJitter,
+    LinkPartition,
+    MessageDrop,
+    QuorumLostError,
+    Straggler,
+    WorkerCrash,
+    load_fault_plan,
+)
+from repro.faults.recovery import (
+    check_quorum,
+    compile_degraded_plan,
+    degraded_topology,
+)
+
+__all__ = [
+    "BitFlip",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkJitter",
+    "LinkPartition",
+    "MessageDrop",
+    "QuorumLostError",
+    "Straggler",
+    "WorkerCrash",
+    "WorkerCrashedError",
+    "check_quorum",
+    "compile_degraded_plan",
+    "degraded_topology",
+    "load_fault_plan",
+]

@@ -1,0 +1,117 @@
+"""Crash recovery: quorum check, topology degradation, plan recompilation.
+
+The paper's K-round full-precision resync doubles as a natural recovery
+anchor: after a fail-stop the survivors' compensation vectors reference sign
+votes the dead worker contributed to, so Marsit recovers by
+
+1. checking the quorum (``FaultPlan.quorum`` fraction of the original M),
+2. rebuilding the topology over the survivor count — same family when the
+   family can shrink (ring: always; tree: any size; halving-doubling: power
+   of two), otherwise falling back to a ring, which accepts any size —
+3. recompiling the :class:`~repro.sched.plan.SyncPlan` through the topology
+   registry for the new worker set, and
+4. forcing an early full-precision resync to zero every survivor's
+   compensation, exactly like a scheduled K-sync round.
+
+:func:`degraded_topology` is the policy; :func:`compile_degraded_plan` is
+the pure helper the golden-snapshot tests (and offline tooling) use to pin
+post-crash plans without running a cluster.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.comm.topology import Topology, ring_topology
+from repro.faults.plan import FaultPlan, QuorumLostError
+from repro.sched.plan import CompileContext, SyncPlan
+
+__all__ = [
+    "check_quorum",
+    "compile_degraded_plan",
+    "degraded_topology",
+]
+
+
+def check_quorum(
+    plan: FaultPlan, num_original: int, survivors: list[int]
+) -> None:
+    """Raise :class:`QuorumLostError` unless enough workers survive.
+
+    One-bit consensus additionally needs at least two participants — a
+    single survivor has nobody to merge with.
+    """
+    needed = max(2, math.ceil(plan.quorum * num_original))
+    if len(survivors) < needed:
+        raise QuorumLostError(
+            f"{len(survivors)} of {num_original} workers survive; quorum "
+            f"requires {needed}"
+        )
+
+
+def degraded_topology(topology: Topology, num_survivors: int) -> Topology:
+    """The topology the survivors reform into.
+
+    Consults the registry entry's ``degrade`` hook (a family that can
+    rebuild at the new size keeps its shape); any family that cannot — a
+    torus losing one node is no longer a torus, halving-doubling needs a
+    power of two — falls back to a ring, the one multi-hop schedule that
+    accepts every worker count.
+    """
+    if num_survivors < 2:
+        raise ValueError("a degraded topology needs at least 2 survivors")
+    from repro.allreduce import get_topology, topology_names
+
+    if topology.name in topology_names():
+        degrade = get_topology(topology.name).degrade
+        if degrade is not None:
+            rebuilt = degrade(num_survivors, dict(topology.meta))
+            if rebuilt is not None:
+                return rebuilt
+    return ring_topology(num_survivors)
+
+
+def compile_degraded_plan(
+    topology: Topology,
+    survivors: list[int],
+    dimension: int,
+    segment_elems: int | None = None,
+) -> tuple[SyncPlan, Topology]:
+    """Recompile the one-bit plan for the survivor set, with provenance.
+
+    Returns ``(plan, degraded_topology)``.  The plan's ``provenance`` notes
+    record the original family and the surviving original ranks, so its
+    digest distinguishes e.g. "ring of 5" from "ring of 6 that lost rank 2"
+    in golden snapshots and reports.
+    """
+    from repro.allreduce import get_topology
+
+    rebuilt = degraded_topology(topology, len(survivors))
+    compiler = get_topology(rebuilt.name).compile_one_bit
+    if compiler is None:
+        raise ValueError(
+            f"degraded topology {rebuilt.name!r} has no one-bit compiler"
+        )
+    plan = compiler(
+        CompileContext(
+            num_workers=rebuilt.num_workers,
+            dimension=dimension,
+            meta=dict(rebuilt.meta),
+            segment_elems=segment_elems,
+        )
+    )
+    plan = SyncPlan(
+        kind=plan.kind,
+        topology=plan.topology,
+        num_workers=plan.num_workers,
+        dimension=plan.dimension,
+        grids=plan.grids,
+        steps=plan.steps,
+        outputs=plan.outputs,
+        provenance=(
+            ("degraded_from", topology.name),
+            ("survivors", ",".join(str(rank) for rank in survivors)),
+        ),
+    )
+    plan.validate()
+    return plan, rebuilt

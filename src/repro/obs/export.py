@@ -232,6 +232,29 @@ def render_result_report(result: dict[str, Any]) -> str:
         lines.append("")
         lines.append("Simulated time by phase")
         lines.append(_format_table(["phase", "ms", "share"], rows))
+    faults = result.get("fault_summary") or {}
+    if faults:
+        lines.append("")
+        lines.append(
+            f"Fault injection (seed {faults.get('seed', '?')}, "
+            f"{faults.get('events', 0)} events)"
+        )
+        dead = faults.get("dead_workers") or []
+        if dead:
+            lines.append(
+                f"  dead workers  : {', '.join(str(w) for w in dead)} "
+                f"({faults.get('active_workers', '?')} survivors)"
+            )
+        counters = faults.get("counters") or {}
+        if counters:
+            rows = [
+                [
+                    name,
+                    f"{value:,}" if isinstance(value, int) else f"{value:.6g}",
+                ]
+                for name, value in sorted(counters.items())
+            ]
+            lines.append(_format_table(["fault counter", "count"], rows))
     history = result.get("history") or []
     if history:
         rows = [

@@ -210,6 +210,8 @@ class ScalarExecutor(_PlanExecutor):
         """One fused SendRecv + MergeSign hop, one synchronous step."""
         ranks = spec.lane_ranks
         metrics = cluster.obs.metrics
+        faults = cluster.faults
+        flips = faults is not None and faults.flips_active
         cluster.begin_step()
         for transfer in send.transfers:
             cluster.send(
@@ -224,6 +226,15 @@ class ScalarExecutor(_PlanExecutor):
                 received: PackedBits = cluster.recv(
                     rank, ranks[entry.src_lane], tag=send.tag
                 )
+                if flips:
+                    # Wire corruption lands on the received copy before the
+                    # merge; the mask is keyed by (tag, link), so the
+                    # batched engine applies the identical one.
+                    mask = faults.flip_mask(
+                        send.tag, ranks[entry.src_lane], rank, len(received)
+                    )
+                    if mask is not None:
+                        received = received ^ mask
                 local = rows[entry.dst_lane][entry.seg]
                 transient = transient_vector_packed(
                     local,
@@ -373,6 +384,8 @@ class LaneStackedExecutor(_PlanExecutor):
         pre-merge), then the bulk exchange — the lockstep ordering."""
         ranks = spec.lane_ranks
         metrics = cluster.obs.metrics
+        faults = cluster.faults
+        flips = faults is not None and faults.flips_active
         exchange = [
             (
                 ranks[transfer.src_lane],
@@ -401,6 +414,19 @@ class LaneStackedExecutor(_PlanExecutor):
             local = PackedBitsBatch._trusted(
                 grid.words[dst, seg], grid.lengths[dst, seg]
             )
+            if flips:
+                # Same per-(tag, link) masks the scalar engine draws; the
+                # fancy-indexed gather above copies, so XOR-ing rows here
+                # never touches the grid's own storage.
+                for row, entry in enumerate(wave):
+                    mask = faults.flip_mask(
+                        send.tag,
+                        ranks[entry.src_lane],
+                        ranks[entry.dst_lane],
+                        int(received.lengths[row]),
+                    )
+                    if mask is not None:
+                        received.words[row, : mask.words.size] ^= mask.words
             transient = transient_vector_batch(
                 local,
                 received_weights=np.fromiter(

@@ -253,6 +253,11 @@ class SyncPlan:
     grids: tuple[GridSpec, ...]
     steps: tuple[Step, ...]
     outputs: tuple[Output, ...] = ()
+    #: optional ``(key, value)`` string pairs recording how the plan came to
+    #: be (e.g. crash recovery notes its original family and survivor set).
+    #: Serialized — and therefore digested — only when non-empty, so plans
+    #: without provenance keep their historical digests.
+    provenance: tuple[tuple[str, str], ...] = ()
 
     @property
     def num_steps(self) -> int:
@@ -271,7 +276,7 @@ class SyncPlan:
             entry: dict[str, Any] = {"op": type(step).__name__}
             entry.update(asdict(step))
             steps.append(entry)
-        return {
+        document = {
             "kind": self.kind,
             "topology": self.topology,
             "num_workers": self.num_workers,
@@ -280,6 +285,9 @@ class SyncPlan:
             "steps": steps,
             "outputs": [asdict(out) for out in self.outputs],
         }
+        if self.provenance:
+            document["provenance"] = [list(pair) for pair in self.provenance]
+        return document
 
     def to_json(self) -> str:
         return json.dumps(

@@ -76,6 +76,7 @@ class TrainResult:
     avg_bits_per_element: float = 32.0
     plan_digest: str | None = None
     num_plan_steps: int = 0
+    fault_summary: dict | None = None
 
     def best_accuracy(self) -> float:
         if not self.history:
@@ -124,6 +125,7 @@ class TrainResult:
             "avg_bits_per_element": self.avg_bits_per_element,
             "plan_digest": self.plan_digest,
             "num_plan_steps": self.num_plan_steps,
+            "fault_summary": self.fault_summary,
             "time_breakdown_s": dict(self.time_breakdown_s),
             "history": [
                 {
@@ -167,6 +169,7 @@ class TrainResult:
             avg_bits_per_element=payload.get("avg_bits_per_element", 32.0),
             plan_digest=payload.get("plan_digest"),
             num_plan_steps=payload.get("num_plan_steps", 0),
+            fault_summary=payload.get("fault_summary"),
         )
         for record in payload.get("history") or []:
             result.history.append(

@@ -69,6 +69,9 @@ class StepResult:
     bits_per_element: float = 32.0
     plan_digest: str | None = None
     num_plan_steps: int = 0
+    #: True when the round ran crash recovery (degraded topology + forced
+    #: full-precision resync) — only Marsit sets it.
+    recovered: bool = False
 
 
 def _registry_entry(cluster: Cluster):
@@ -665,6 +668,7 @@ class MarsitStrategy(SyncStrategy):
             bits_per_element=report.bits_per_element,
             plan_digest=report.plan_digest,
             num_plan_steps=report.num_plan_steps,
+            recovered=report.recovered,
         )
         self.callbacks.on_sync_done(
             round_idx, result, cluster=cluster, strategy=self

@@ -32,6 +32,7 @@ from repro.comm.cluster import Cluster
 from repro.comm.timing import CostModel, Phase
 from repro.data.sharding import WorkerBatchIterator, shard_dirichlet, shard_iid
 from repro.data.synthetic import ArrayDataset
+from repro.faults import FaultInjector, FaultPlan
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.obs.hooks import CallbackList, TrainerCallback
@@ -71,6 +72,12 @@ class TrainConfig:
             Sign/vote schemes bound every worker's per-coordinate influence
             to ±1, so a minority adversary is outvoted; mean-based
             aggregation is dominated by the amplified liar.
+        faults: optional :class:`~repro.faults.plan.FaultPlan`; when set,
+            a :class:`~repro.faults.inject.FaultInjector` is attached to the
+            cluster and the run sees jitter/stragglers/drops/bit-flips/
+            crashes exactly as the plan prescribes.  ``WorkerCrash`` events
+            require the Marsit strategy (the only scheme with a recovery
+            path).
         local_steps: local updates per synchronization (paper Section 5:
             "clients perform multiple local updates between two successive
             synchronizations").  Each worker walks ``local_steps`` plain-SGD
@@ -95,6 +102,7 @@ class TrainConfig:
     dirichlet_alpha: float = 0.5
     clip_grad_norm: float | None = None
     byzantine_workers: int = 0
+    faults: FaultPlan | None = None
     local_steps: int = 1
     local_step_lr: float = 0.01
 
@@ -114,6 +122,8 @@ class TrainConfig:
             raise ValueError("clip_grad_norm must be positive or None")
         if not 0 <= self.byzantine_workers <= self.num_workers:
             raise ValueError("byzantine_workers must be in [0, num_workers]")
+        if self.faults is not None:
+            self.faults.validate(self.num_workers)
         if self.local_steps < 1:
             raise ValueError("local_steps must be >= 1")
         if self.local_step_lr <= 0:
@@ -140,7 +150,10 @@ def make_cluster(config: TrainConfig, cost_model: CostModel | None = None) -> Cl
         rows, cols = config.torus_shape
         kwargs = {"rows": rows, "cols": cols}
     topology = get_topology(config.topology).build(config.num_workers, **kwargs)
-    return Cluster(topology, cost_model=cost_model)
+    cluster = Cluster(topology, cost_model=cost_model)
+    if config.faults is not None:
+        cluster.attach_faults(FaultInjector(config.faults))
+    return cluster
 
 
 class DistributedTrainer:
@@ -163,6 +176,14 @@ class DistributedTrainer:
         self.strategy = strategy
         self.config = config
         self.callbacks = CallbackList(callbacks)
+        if config.faults is not None and config.faults.crashes():
+            from repro.train.strategies import MarsitStrategy
+
+            if not isinstance(strategy, MarsitStrategy):
+                raise ValueError(
+                    "WorkerCrash events need a recovery path; only the "
+                    "Marsit strategy implements one"
+                )
         self.cluster = make_cluster(config, cost_model=cost_model)
         if observability is not None:
             self.cluster.attach_observability(observability)
@@ -204,8 +225,16 @@ class DistributedTrainer:
         grads = []
         losses = []
         local_steps = self.config.local_steps
+        faults = self.cluster.faults
+        dead = faults.dead_workers if faults is not None else frozenset()
         shared = self.model.flatten_params() if local_steps > 1 else None
         for worker, iterator in enumerate(self.iterators):
+            if worker in dead:
+                # Crashed workers contribute nothing: a zero placeholder
+                # keeps the gradient list M-long (the synchronizer indexes
+                # by original rank) without touching the loss mean.
+                grads.append(np.zeros(self.model.num_parameters()))
+                continue
             if local_steps == 1:
                 grad, loss = self._one_gradient(iterator)
             else:
@@ -244,7 +273,12 @@ class DistributedTrainer:
         result = TrainResult(strategy_name=self.strategy.name)
         bits_seen: list[float] = []
         train_loss = float("nan")
+        faults = self.cluster.faults
         for round_idx in range(self.config.rounds):
+            if faults is not None:
+                # Activate this round's faults *before* gradients so crashed
+                # workers stop computing from the crash round onward.
+                faults.begin_round(round_idx)
             self.callbacks.on_round_start(
                 round_idx, cluster=self.cluster, trainer=self
             )
@@ -297,4 +331,6 @@ class DistributedTrainer:
         result.avg_bits_per_element = (
             float(np.mean(bits_seen)) if bits_seen else 32.0
         )
+        if faults is not None:
+            result.fault_summary = faults.summary()
         return result

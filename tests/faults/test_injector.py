@@ -1,0 +1,235 @@
+"""FaultInjector determinism, remapping, and accounting unit tests.
+
+The injector's contract is *content keying*: every decision is a pure
+function of (plan seed, round, kind, tag, original link, occurrence), never
+of call order.  That property is what makes the scalar and lane-stacked
+engines — which interleave their fault queries completely differently —
+agree bit-for-bit; these tests pin it directly.
+"""
+
+import pytest
+
+from repro.comm.cluster import Cluster
+from repro.comm.topology import ring_topology
+from repro.faults import (
+    BitFlip,
+    FaultInjector,
+    FaultPlan,
+    LinkJitter,
+    LinkPartition,
+    MessageDrop,
+    Straggler,
+    WorkerCrash,
+    WorkerCrashedError,
+)
+
+
+def _bound(plan: FaultPlan, num_workers: int = 4) -> FaultInjector:
+    cluster = Cluster(ring_topology(num_workers))
+    injector = FaultInjector(plan)
+    cluster.attach_faults(injector)
+    return injector
+
+
+class TestContentKeying:
+    PLAN = FaultPlan(seed=5, events=(MessageDrop(prob=0.5),))
+
+    def _decisions(self, order):
+        injector = _bound(self.PLAN)
+        injector.begin_round(0)
+        injector.begin_step()
+        results = {}
+        for src, dst in order:
+            for occ in range(3):
+                results[(src, dst, occ)] = injector.on_message(
+                    "rs:0", src, dst, 100
+                )
+        return results
+
+    def test_decisions_are_independent_of_query_order(self):
+        forward = self._decisions([(0, 1), (1, 2), (2, 3)])
+        backward = self._decisions([(2, 3), (1, 2), (0, 1)])
+        assert forward == backward
+
+    def test_decisions_differ_across_rounds_and_seeds(self):
+        def sample(seed, round_idx):
+            injector = _bound(FaultPlan(seed=seed, events=(MessageDrop(prob=0.5),)))
+            injector.begin_round(round_idx)
+            injector.begin_step()
+            return [
+                injector.on_message("rs:0", 0, 1, 100)[0] for _ in range(64)
+            ]
+
+        assert sample(5, 0) == sample(5, 0)
+        assert sample(5, 0) != sample(5, 1)
+        assert sample(5, 0) != sample(6, 0)
+
+    def test_begin_round_resets_occurrence_counters(self):
+        injector = _bound(self.PLAN)
+        injector.begin_round(0)
+        injector.begin_step()
+        first = [injector.on_message("rs:0", 0, 1, 100) for _ in range(8)]
+        # Re-entering the *same* round is idempotent: counters keep running.
+        injector.begin_round(0)
+        cont = injector.on_message("rs:0", 0, 1, 100)
+        assert first[0] != cont or len(set(first)) == 1
+        # A new round restarts the per-(kind, tag, link) occurrence count,
+        # and its draws are keyed by the new round index.
+        injector.begin_round(1)
+        injector.begin_step()
+        second = [injector.on_message("rs:0", 0, 1, 100) for _ in range(8)]
+        injector2 = _bound(self.PLAN)
+        injector2.begin_round(1)
+        injector2.begin_step()
+        replay = [injector2.on_message("rs:0", 0, 1, 100) for _ in range(8)]
+        assert second == replay
+
+
+class TestDropsAndPartitions:
+    def test_retry_mode_always_delivers_within_budget(self):
+        plan = FaultPlan(seed=1, events=(MessageDrop(prob=0.9),), max_attempts=3)
+        injector = _bound(plan)
+        injector.begin_round(0)
+        injector.begin_step()
+        for _ in range(200):
+            extra, deliver = injector.on_message("t", 0, 1, 50)
+            assert deliver
+            assert extra % 50 == 0
+            assert 0 <= extra <= 3 * 50
+        assert injector.counters["drops"] == injector.counters["retries"]
+        assert injector.counters["retry_bytes"] == 50 * injector.counters["retries"]
+
+    def test_timeout_mode_loses_terminally(self):
+        plan = FaultPlan(seed=1, events=(MessageDrop(prob=1.0, mode="timeout"),))
+        injector = _bound(plan)
+        injector.begin_round(0)
+        injector.begin_step()
+        extra, deliver = injector.on_message("t", 0, 1, 50)
+        assert (extra, deliver) == (0, False)
+        assert injector.counters["timeouts"] == 1
+
+    def test_partition_pays_the_full_retry_budget(self):
+        plan = FaultPlan(
+            seed=1,
+            events=(LinkPartition(src=0, dst=1, last_round=0),),
+            max_attempts=4,
+        )
+        injector = _bound(plan)
+        injector.begin_round(0)
+        injector.begin_step()
+        extra, deliver = injector.on_message("t", 0, 1, 10)
+        assert (extra, deliver) == (40, True)
+        assert injector.counters["partition_hits"] == 1
+        # Reverse direction and other links are untouched.
+        assert injector.on_message("t", 1, 0, 10) == (0, True)
+        # The window closes: round 1 is clean.
+        injector.begin_round(1)
+        injector.begin_step()
+        assert injector.on_message("t", 0, 1, 10) == (0, True)
+
+
+class TestTimingFaults:
+    def test_straggler_scales_the_slowest_link(self):
+        cluster = Cluster(ring_topology(4))
+        plan = FaultPlan(seed=0, events=(Straggler(worker=2, factor=3.0),))
+        injector = FaultInjector(plan)
+        cluster.attach_faults(injector)
+        injector.begin_round(0)
+        injector.begin_step()
+        base = cluster._link_transfer_time((0, 1), 1000)
+        # A step over a clean link is unchanged; one touching worker 2 pays 3x.
+        assert injector.finish_step("t", {(0, 1): 1000}) == pytest.approx(base)
+        assert injector.finish_step("t", {(1, 2): 1000}) == pytest.approx(3 * base)
+
+    def test_jitter_is_reproducible_and_multiplicative(self):
+        def makespan(seed):
+            cluster = Cluster(ring_topology(4))
+            injector = FaultInjector(
+                FaultPlan(seed=seed, events=(LinkJitter(sigma=0.5),))
+            )
+            cluster.attach_faults(injector)
+            injector.begin_round(0)
+            injector.begin_step()
+            return [injector.finish_step("t", {(0, 1): 1000}) for _ in range(5)]
+
+        base = Cluster(ring_topology(4))._link_transfer_time((0, 1), 1000)
+        first = makespan(3)
+        assert first == makespan(3)
+        assert first != makespan(4)
+        assert all(m > 0 for m in first)
+        # Successive steps draw fresh noise (occurrence-keyed).
+        assert len(set(first)) > 1
+        assert all(m != pytest.approx(base) for m in first)
+
+
+class TestBitFlips:
+    PLAN = FaultPlan(seed=9, events=(BitFlip(prob=0.2, links=((1, 2),)),))
+
+    def test_masks_only_on_matching_links(self):
+        injector = _bound(self.PLAN)
+        injector.begin_round(0)
+        assert injector.flips_active
+        assert injector.flip_mask("t", 0, 1, 256) is None
+        mask = injector.flip_mask("t", 1, 2, 256)
+        assert mask is not None and len(mask) == 256
+        assert injector.counters["flipped_bits"] == mask.popcount()
+        assert injector.counters["flipped_messages"] == 1
+
+    def test_masks_are_content_keyed(self):
+        a = _bound(self.PLAN)
+        a.begin_round(0)
+        b = _bound(self.PLAN)
+        b.begin_round(0)
+        # Interleave queries differently; same coordinates, same masks.
+        masks_a = [a.flip_mask("t", 1, 2, 64) for _ in range(3)]
+        b.flip_mask("other-tag", 1, 2, 64)
+        masks_b = [b.flip_mask("t", 1, 2, 64) for _ in range(3)]
+        for left, right in zip(masks_a, masks_b):
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert left.equals(right)
+
+
+class TestCrashesAndRemapping:
+    def test_traffic_to_a_crashed_worker_raises(self):
+        plan = FaultPlan(seed=0, events=(WorkerCrash(worker=2, round_idx=1),))
+        injector = _bound(plan)
+        injector.begin_round(0)
+        injector.begin_step()
+        assert injector.on_message("t", 1, 2, 10) == (0, True)
+        injector.begin_round(1)
+        injector.begin_step()
+        assert injector.take_new_crashes() == (2,)
+        assert injector.take_new_crashes() == ()
+        assert injector.dead_workers == frozenset({2})
+        with pytest.raises(WorkerCrashedError):
+            injector.on_message("t", 1, 2, 10)
+        with pytest.raises(WorkerCrashedError):
+            injector.on_message("t", 2, 3, 10)
+
+    def test_faults_follow_original_ranks_after_rerank(self):
+        # Straggle original worker 3; after worker 1 dies and survivors
+        # [0, 2, 3] re-rank, original 3 is current rank 2 — its links must
+        # still be slow, and original-rank keying must survive the remap.
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                Straggler(worker=3, factor=2.0),
+                WorkerCrash(worker=1, round_idx=0),
+            ),
+        )
+        cluster = Cluster(ring_topology(4))
+        injector = FaultInjector(plan)
+        cluster.attach_faults(injector)
+        injector.begin_round(0)
+        assert injector.take_new_crashes() == (1,)
+        cluster.reconfigure(ring_topology(3))
+        injector.set_active([0, 2, 3])
+        assert injector.dead_workers == frozenset({1})
+        # The ring is directed (successor edges): current rank 2 touches
+        # exactly (1, 2) and (2, 0).
+        slow_links = set(injector._slow)
+        assert slow_links == {(1, 2), (2, 0)}
+        summary = injector.summary()
+        assert summary["dead_workers"] == [1]
+        assert summary["active_workers"] == [0, 2, 3]

@@ -1,0 +1,127 @@
+"""Mailbox hygiene under lost messages: take, discard, abort, reconfigure.
+
+Regression suite for the leak fixed alongside the fault subsystem: a failed
+``Worker.take`` probe used to *create* an empty ``(src, tag)`` queue via the
+defaultdict, and queues drained to empty stayed in the dict — so every
+timed-out round grew the mailbox and tripped ``assert_drained`` (or worse,
+leaked into the next round's totals).
+"""
+
+import pytest
+
+from repro.comm.cluster import Cluster, Message, Worker
+from repro.comm.topology import ring_topology
+from repro.faults import FaultInjector, FaultPlan, MessageDrop
+
+
+class TestWorkerTake:
+    def test_failed_take_does_not_create_a_queue(self):
+        worker = Worker(rank=0)
+        with pytest.raises(LookupError):
+            worker.take(3, "rs:0")
+        assert len(worker.mailbox) == 0
+
+    def test_drained_queue_is_deleted(self):
+        cluster = Cluster(ring_topology(2))
+        cluster.send(0, 1, b"xy", tag="t")
+        cluster.send(0, 1, b"zw", tag="t")
+        worker = cluster.workers[1]
+        assert len(worker.mailbox) == 1
+        assert cluster.recv(1, 0, tag="t") == b"xy"
+        assert cluster.recv(1, 0, tag="t") == b"zw"
+        assert len(worker.mailbox) == 0
+        cluster.assert_drained()
+
+    def test_discard_filters_by_tag_and_src(self):
+        worker = Worker(rank=1)
+        for src, tag, payload in [
+            (0, "keep", b"a"), (0, "drop", b"b"), (2, "drop", b"c"),
+        ]:
+            worker.deliver(
+                Message(src=src, dst=1, payload=payload, nbytes=1, tag=tag)
+            )
+        assert worker.discard(tag="drop", src=2) == 1
+        assert worker.discard(tag="drop") == 1
+        assert worker.pending() == 1
+        assert worker.take(0, "keep").payload == b"a"
+
+
+class TestTimeoutRecovery:
+    def _lossy_cluster(self):
+        cluster = Cluster(ring_topology(3))
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                MessageDrop(
+                    prob=1.0, links=((0, 1),), mode="timeout", last_round=0
+                ),
+            ),
+        )
+        injector = FaultInjector(plan)
+        cluster.attach_faults(injector)
+        injector.begin_round(0)
+        return cluster, injector
+
+    def test_aborted_round_leaves_no_residue(self):
+        cluster, injector = self._lossy_cluster()
+        cluster.begin_step()
+        cluster.send(0, 1, b"lost", tag="rs:0")
+        cluster.send(1, 2, b"fine", tag="rs:0")
+        with pytest.raises(LookupError):
+            cluster.recv(1, 0, tag="rs:0")
+        # The round is void: close without charging, drop the companions.
+        aborted = cluster.abort_step(tag="rs:0")
+        assert aborted == {(0, 1): 4, (1, 2): 4}
+        assert cluster.discard_pending(tag="rs:0") == 1
+        cluster.assert_drained()
+        assert cluster.timeline.total == 0.0
+        # Attempted bytes did travel the wire and stay counted.
+        assert cluster.total_bytes == 8
+        assert injector.counters["timeouts"] == 1
+        # The next round (drop window closed) completes normally and its
+        # makespan reflects only its own bytes — nothing leaked across.
+        injector.begin_round(1)
+        cluster.begin_step()
+        cluster.send(0, 1, b"ok", tag="rs:1")
+        assert cluster.end_step(tag="rs:1") > 0.0
+        assert cluster.recv(1, 0, tag="rs:1") == b"ok"
+        cluster.assert_drained()
+
+    def test_abort_step_requires_an_open_step(self):
+        cluster = Cluster(ring_topology(2))
+        with pytest.raises(RuntimeError, match="no step open"):
+            cluster.abort_step()
+
+    def test_end_step_after_abort_does_not_double_charge(self):
+        cluster, _ = self._lossy_cluster()
+        cluster.begin_step()
+        cluster.send(1, 2, b"partial", tag="t")
+        cluster.abort_step(tag="t")
+        cluster.begin_step()
+        elapsed = cluster.end_step(tag="t")
+        assert elapsed == 0.0
+
+
+class TestReconfigure:
+    def test_refuses_with_pending_messages(self):
+        cluster = Cluster(ring_topology(3))
+        cluster.send(0, 1, b"stranded", tag="t")
+        with pytest.raises(RuntimeError, match="undelivered"):
+            cluster.reconfigure(ring_topology(2))
+
+    def test_drop_pending_preserves_cumulative_accounting(self):
+        cluster = Cluster(ring_topology(3))
+        cluster.send(0, 1, b"stranded", tag="t")
+        before_bytes = cluster.total_bytes
+        cluster.reconfigure(ring_topology(2), drop_pending=True)
+        assert cluster.num_workers == 2
+        assert cluster.total_bytes == before_bytes
+        assert cluster.total_messages == 1
+        cluster.assert_drained()
+        assert set(cluster.links) == {(0, 1), (1, 0)}
+
+    def test_refuses_inside_an_open_step(self):
+        cluster = Cluster(ring_topology(3))
+        cluster.begin_step()
+        with pytest.raises(RuntimeError, match="open step"):
+            cluster.reconfigure(ring_topology(2))

@@ -1,0 +1,134 @@
+"""FaultPlan construction, validation, and JSON round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    BitFlip,
+    FaultPlan,
+    LinkJitter,
+    LinkPartition,
+    MessageDrop,
+    Straggler,
+    WorkerCrash,
+    load_fault_plan,
+)
+
+
+def _full_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=7,
+        events=(
+            LinkJitter(sigma=0.2, links=((0, 1),), first_round=2, last_round=9),
+            Straggler(worker=3, factor=2.5, first_round=1),
+            MessageDrop(prob=0.05),
+            MessageDrop(prob=0.5, links=((1, 2),), mode="timeout"),
+            BitFlip(prob=0.01, links=((2, 3), (3, 2))),
+            WorkerCrash(worker=2, round_idx=4),
+            LinkPartition(src=0, dst=3, first_round=3, last_round=5),
+        ),
+        retry_timeout_s=1e-4,
+        max_attempts=3,
+        quorum=0.6,
+    )
+
+
+class TestEventValidation:
+    def test_jitter_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            LinkJitter(sigma=0.0)
+
+    def test_straggler_rejects_speedup(self):
+        with pytest.raises(ValueError, match="factor"):
+            Straggler(worker=0, factor=0.5)
+
+    def test_drop_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="prob"):
+            MessageDrop(prob=0.0)
+        with pytest.raises(ValueError, match="prob"):
+            MessageDrop(prob=1.5)
+
+    def test_drop_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            MessageDrop(prob=0.1, mode="udp")
+
+    def test_flip_rejects_majority_corruption(self):
+        # Flipping more than half the bits is an inverter, not noise.
+        with pytest.raises(ValueError, match="prob"):
+            BitFlip(prob=0.6)
+
+    def test_window_rejects_inverted_range(self):
+        with pytest.raises(ValueError, match="last_round"):
+            LinkJitter(sigma=0.1, first_round=5, last_round=4)
+
+    def test_links_reject_self_loops(self):
+        with pytest.raises(ValueError, match="pairs"):
+            MessageDrop(prob=0.1, links=((1, 1),))
+
+    def test_partition_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="distinct"):
+            LinkPartition(src=2, dst=2)
+
+    def test_windowed_activity(self):
+        event = LinkJitter(sigma=0.1, first_round=2, last_round=4)
+        assert [event.active(r) for r in range(6)] == [
+            False, False, True, True, True, False,
+        ]
+        forever = Straggler(worker=0, factor=2.0, first_round=1)
+        assert not forever.active(0)
+        assert forever.active(10**6)
+
+
+class TestPlanValidation:
+    def test_plan_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="retry_timeout_s"):
+            FaultPlan(retry_timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            FaultPlan(max_attempts=0)
+        with pytest.raises(ValueError, match="quorum"):
+            FaultPlan(quorum=1.5)
+
+    def test_plan_rejects_foreign_events(self):
+        with pytest.raises(TypeError, match="unknown fault event"):
+            FaultPlan(events=("not-an-event",))
+
+    def test_validate_checks_ranks_against_worker_count(self):
+        plan = _full_plan()
+        plan.validate(8)
+        with pytest.raises(ValueError, match="rank 3"):
+            plan.validate(3)
+
+    def test_validate_without_worker_count_is_a_noop(self):
+        _full_plan().validate(None)
+
+    def test_crashes_filter(self):
+        assert _full_plan().crashes() == (WorkerCrash(worker=2, round_idx=4),)
+        assert FaultPlan().crashes() == ()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_every_event(self):
+        plan = _full_plan()
+        restored = FaultPlan.from_json_dict(plan.to_json_dict())
+        assert restored == plan
+
+    def test_to_json_is_plain_sorted_json(self):
+        payload = json.loads(_full_plan().to_json())
+        assert payload["seed"] == 7
+        assert len(payload["events"]) == 7
+        assert all("kind" in entry for entry in payload["events"])
+
+    def test_load_fault_plan_reads_the_cli_file(self, tmp_path):
+        plan = _full_plan()
+        path = tmp_path / "plan.json"
+        plan.to_json(str(path))
+        assert load_fault_plan(str(path)) == plan
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event kind"):
+            FaultPlan.from_json_dict({"events": [{"kind": "solar_flare"}]})
+
+    def test_minimal_document_uses_defaults(self):
+        plan = FaultPlan.from_json_dict({})
+        assert plan == FaultPlan()

@@ -1,0 +1,125 @@
+"""Crash-recovery policy: quorum, topology degradation, plan recompilation."""
+
+import pytest
+
+from repro.comm.topology import (
+    halving_doubling_topology,
+    ring_topology,
+    torus_topology,
+    tree_topology,
+)
+from repro.faults import FaultPlan, QuorumLostError
+from repro.faults.recovery import (
+    check_quorum,
+    compile_degraded_plan,
+    degraded_topology,
+)
+from repro.sched.plan import CompileContext
+
+
+class TestQuorum:
+    def test_majority_quorum(self):
+        plan = FaultPlan(quorum=0.5)
+        check_quorum(plan, 6, [0, 1, 2])
+        with pytest.raises(QuorumLostError, match="quorum"):
+            check_quorum(plan, 6, [0, 1])
+
+    def test_consensus_needs_two_even_with_zero_quorum(self):
+        plan = FaultPlan(quorum=0.0)
+        check_quorum(plan, 8, [3, 7])
+        with pytest.raises(QuorumLostError):
+            check_quorum(plan, 8, [3])
+
+    def test_strict_quorum(self):
+        plan = FaultPlan(quorum=1.0)
+        with pytest.raises(QuorumLostError):
+            check_quorum(plan, 4, [0, 1, 2])
+
+
+class TestDegradedTopology:
+    def test_ring_stays_a_ring(self):
+        degraded = degraded_topology(ring_topology(6), 5)
+        assert degraded.name == "ring"
+        assert degraded.num_workers == 5
+
+    def test_tree_keeps_its_arity(self):
+        degraded = degraded_topology(tree_topology(13, arity=3), 9)
+        assert degraded.name == "tree"
+        assert degraded.meta["arity"] == 3
+        assert degraded.num_workers == 9
+
+    def test_halving_doubling_shrinks_to_powers_of_two_only(self):
+        still_pow2 = degraded_topology(halving_doubling_topology(8), 4)
+        assert still_pow2.name == "halving_doubling"
+        fallback = degraded_topology(halving_doubling_topology(8), 6)
+        assert fallback.name == "ring"
+        assert fallback.num_workers == 6
+
+    def test_torus_falls_back_to_a_ring(self):
+        degraded = degraded_topology(torus_topology(2, 3), 5)
+        assert degraded.name == "ring"
+        assert degraded.num_workers == 5
+
+    def test_rejects_lone_survivor(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            degraded_topology(ring_topology(4), 1)
+
+
+class TestCompileDegradedPlan:
+    def test_provenance_records_the_crash_lineage(self):
+        plan, rebuilt = compile_degraded_plan(
+            ring_topology(6), [0, 1, 3, 4, 5], dimension=103
+        )
+        assert rebuilt.num_workers == 5
+        assert plan.num_workers == 5
+        assert dict(plan.provenance) == {
+            "degraded_from": "ring",
+            "survivors": "0,1,3,4,5",
+        }
+        plan.validate()
+
+    def test_degraded_plan_digest_differs_from_a_fresh_plan(self):
+        # "Ring of 5" and "ring of 6 that lost rank 2" run the same schedule
+        # but are different artifacts: provenance feeds the digest, so golden
+        # snapshots and reports can tell them apart.
+        from repro.allreduce import get_topology
+
+        degraded, _ = compile_degraded_plan(
+            ring_topology(6), [0, 1, 3, 4, 5], dimension=103
+        )
+        fresh = get_topology("ring").compile_one_bit(
+            CompileContext(num_workers=5, dimension=103, meta={})
+        )
+        assert degraded.digest() != fresh.digest()
+        assert degraded.steps == fresh.steps
+
+    def test_provenance_survives_json_round_trip(self):
+        import json
+
+        plan, _ = compile_degraded_plan(
+            torus_topology(2, 3), [0, 1, 2, 3, 5], dimension=64
+        )
+        document = json.loads(json.dumps(plan.to_json_dict()))
+        assert document["provenance"] == [
+            ["degraded_from", "torus"],
+            ["survivors", "0,1,2,3,5"],
+        ]
+
+    def test_fresh_plans_omit_provenance_entirely(self):
+        # The field is serialized only when non-empty, so every pre-existing
+        # plan digest and golden snapshot is untouched by its introduction.
+        from repro.allreduce import get_topology
+
+        plan = get_topology("ring").compile_one_bit(
+            CompileContext(num_workers=4, dimension=32, meta={})
+        )
+        assert plan.provenance == ()
+        assert "provenance" not in plan.to_json_dict()
+
+    def test_segment_elems_pass_through(self):
+        plan, rebuilt = compile_degraded_plan(
+            ring_topology(6), [0, 1, 2, 3, 4], dimension=90, segment_elems=40
+        )
+        assert rebuilt.name == "ring"
+        assert plan.kind == "one_bit"
+        plan.validate()

@@ -1,0 +1,133 @@
+"""Statistical unbiasedness of the ⊙ merge under wire bit-flips.
+
+The Eq. (2) induction says one merge preserves the weighted +1 probability:
+``E[v ⊙ v*] = (a p + b q) / (a + b)`` where ``p``/``q`` are the incoming and
+local +1 probabilities.  A symmetric wire flip with rate ``f`` transforms the
+incoming probability to ``p' = p + f (1 - 2p)`` *before* the merge, so the
+merged expectation is still exactly the Eq. (2) form evaluated at ``p'`` —
+corruption inflates the variance of the consensus sign but introduces no
+directional bias (flips toward +1 and toward -1 balance).  These chi-square
+tests pin both halves of that statement, once on the raw bit ops and once
+through the real ``FaultInjector`` masks.
+
+All draws are seeded, so the chi-square statistics are deterministic — no
+flaky-threshold retries.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.comm.bits import PackedBits
+from repro.comm.cluster import Cluster
+from repro.comm.topology import ring_topology
+from repro.core.sign_ops import (
+    expected_merge_probability,
+    merge_sign_bits,
+    transient_vector,
+)
+from repro.faults import BitFlip, FaultInjector, FaultPlan
+
+N = 200_000
+ALPHA = 1e-3
+
+
+def _chi_square_pvalue(ones: int, total: int, prob: float) -> float:
+    observed = np.array([ones, total - ones], dtype=np.float64)
+    expected = np.array([prob * total, (1.0 - prob) * total])
+    return float(stats.chisquare(observed, expected).pvalue)
+
+
+def _merge_with_flips(p, q, a, b, flip_prob, seed):
+    """One flipped-wire merge over N coordinates; returns the merged bits."""
+    rng = np.random.default_rng(seed)
+    received = (rng.random(N) < p).astype(np.uint8)
+    local = (rng.random(N) < q).astype(np.uint8)
+    if flip_prob:
+        received = received ^ (rng.random(N) < flip_prob).astype(np.uint8)
+    transient = transient_vector(local, a, b, rng)
+    return merge_sign_bits(received, local, transient)
+
+
+class TestMergeUnderFlips:
+    @pytest.mark.parametrize(
+        "p,q,a,b,flip",
+        [
+            (0.5, 0.5, 1, 1, 0.0),
+            (0.3, 0.8, 1, 1, 0.05),
+            (0.3, 0.8, 3, 1, 0.05),
+            (0.9, 0.1, 2, 2, 0.2),
+            (0.5, 0.5, 4, 1, 0.5),
+        ],
+    )
+    def test_merged_mean_matches_flip_adjusted_eq2(self, p, q, a, b, flip):
+        flipped_p = p + flip * (1.0 - 2.0 * p)
+        expected = float(expected_merge_probability(flipped_p, q, a, b))
+        merged = _merge_with_flips(p, q, a, b, flip, seed=17)
+        pvalue = _chi_square_pvalue(int(merged.sum()), N, expected)
+        assert pvalue > ALPHA
+
+    def test_symmetric_flips_leave_a_balanced_consensus_unbiased(self):
+        # p = q = 1/2 is the fixed point: whatever the flip rate, the merged
+        # probability stays exactly 1/2 — flips cannot push the consensus.
+        for flip in (0.05, 0.2, 0.5):
+            merged = _merge_with_flips(0.5, 0.5, 1, 1, flip, seed=23)
+            assert _chi_square_pvalue(int(merged.sum()), N, 0.5) > ALPHA
+
+    def test_flips_shrink_the_signal_not_the_center(self):
+        # With p = 0.9, q = 0.9 the clean merge centers at 0.9; a 20% flip
+        # rate drags the *incoming* arm toward 1/2 (0.74) so the merged mean
+        # lands between — attenuated signal, no sign reversal.  That is the
+        # "variance inflation without bias" claim in operational form.
+        clean = _merge_with_flips(0.9, 0.9, 1, 1, 0.0, seed=31).mean()
+        noisy = _merge_with_flips(0.9, 0.9, 1, 1, 0.2, seed=31).mean()
+        expected = float(expected_merge_probability(0.74, 0.9, 1, 1))
+        assert noisy < clean
+        assert noisy > 0.5
+        assert noisy == pytest.approx(expected, abs=0.01)
+
+
+class TestInjectorMasksAreFair:
+    def test_flip_masks_hit_at_the_configured_rate(self):
+        # Aggregate many injector masks and chi-square the flip count: the
+        # content-keyed Philox draws must realize the plan's Bernoulli rate.
+        prob = 0.05
+        cluster = Cluster(ring_topology(4))
+        injector = FaultInjector(
+            FaultPlan(seed=41, events=(BitFlip(prob=prob),))
+        )
+        cluster.attach_faults(injector)
+        injector.begin_round(0)
+        length, draws = 4096, 50
+        flipped = 0
+        for _ in range(draws):
+            mask = injector.flip_mask("t", 0, 1, length)
+            if mask is not None:
+                flipped += mask.popcount()
+        pvalue = _chi_square_pvalue(flipped, length * draws, prob)
+        assert pvalue > ALPHA
+
+    def test_mask_application_matches_the_reference_merge(self):
+        # End to end: XOR-ing an injector mask into a packed payload, then
+        # merging, equals the unpacked reference fed the same flipped bits.
+        rng = np.random.default_rng(5)
+        length = 2048
+        received_bits = (rng.random(length) < 0.3).astype(np.uint8)
+        local_bits = (rng.random(length) < 0.8).astype(np.uint8)
+        cluster = Cluster(ring_topology(4))
+        injector = FaultInjector(
+            FaultPlan(seed=2, events=(BitFlip(prob=0.1),))
+        )
+        cluster.attach_faults(injector)
+        injector.begin_round(0)
+        mask = injector.flip_mask("t", 0, 1, length)
+        assert mask is not None
+        corrupted_packed = PackedBits.from_bits(received_bits) ^ mask
+        corrupted_ref = received_bits ^ mask.to_bits().astype(np.uint8)
+        transient = transient_vector(local_bits, 1, 1, np.random.default_rng(8))
+        reference = merge_sign_bits(corrupted_ref, local_bits, transient)
+        packed_view = corrupted_packed.to_bits().astype(np.uint8)
+        assert np.array_equal(packed_view, corrupted_ref)
+        assert reference.mean() != pytest.approx(
+            merge_sign_bits(received_bits, local_bits, transient).mean()
+        )

@@ -1,0 +1,75 @@
+"""Golden snapshots for post-crash (degraded) SyncPlans.
+
+Same idiom as :mod:`tests.sched.test_plan`, but the plans come from
+:func:`repro.faults.recovery.compile_degraded_plan`, so the snapshots pin
+both the degraded *schedule* (the survivors' ring/tree) and the recovery
+*provenance* (which family degraded, which original ranks survived) that
+feeds the digest.  Refresh intentionally with::
+
+    python -m pytest tests/sched/test_degraded_golden.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.comm.topology import (
+    halving_doubling_topology,
+    ring_topology,
+    torus_topology,
+    tree_topology,
+)
+from repro.faults.recovery import compile_degraded_plan
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# case -> (original topology, surviving original ranks, dimension)
+DEGRADED_CASES = {
+    "degraded_ring_m6_crash2": (ring_topology(6), [0, 1, 3, 4, 5], 103),
+    "degraded_torus_2x3_crash4": (torus_topology(2, 3), [0, 1, 2, 3, 5], 101),
+    "degraded_tree_m7_a2_crash3": (
+        tree_topology(7, arity=2), [0, 1, 2, 4, 5, 6], 64,
+    ),
+    "degraded_hd_m8_crash5": (
+        halving_doubling_topology(8), [0, 1, 2, 3, 4, 6, 7], 37,
+    ),
+}
+
+
+class TestDegradedGoldenPlans:
+    @pytest.mark.parametrize("case_name", sorted(DEGRADED_CASES))
+    def test_degraded_plan_matches_golden(self, case_name, update_golden):
+        topology, survivors, dimension = DEGRADED_CASES[case_name]
+        plan, rebuilt = compile_degraded_plan(topology, survivors, dimension)
+        plan.validate()
+        document = {
+            "digest": plan.digest(),
+            "degraded_to": rebuilt.name,
+            "plan": json.loads(json.dumps(plan.to_json_dict())),
+        }
+        path = GOLDEN_DIR / f"{case_name}.json"
+        if update_golden:
+            path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+            return
+        assert path.exists(), (
+            f"missing golden snapshot {path}; run "
+            "pytest tests/sched/test_degraded_golden.py --update-golden"
+        )
+        recorded = json.loads(path.read_text())
+        assert document["digest"] == recorded["digest"], (
+            f"degraded plan digest changed for {case_name}: "
+            f"{recorded['digest']} -> {document['digest']}; if intended, "
+            "refresh with --update-golden"
+        )
+        assert document["degraded_to"] == recorded["degraded_to"]
+        assert document["plan"] == recorded["plan"]
+
+    def test_non_power_of_two_butterfly_snapshot_degrades_to_ring(self):
+        # 8-node halving-doubling minus one is 7 — not a power of two — so
+        # the recorded snapshot must be the ring fallback.
+        plan, rebuilt = compile_degraded_plan(
+            *DEGRADED_CASES["degraded_hd_m8_crash5"][:2], dimension=37
+        )
+        assert rebuilt.name == "ring"
+        assert plan.topology == "ring"

@@ -73,6 +73,7 @@ class TestSchemaStability:
             "history",
             "plan_digest",
             "num_plan_steps",
+            "fault_summary",
         }
 
     def test_time_breakdown_keys_match_phase_values(self):
